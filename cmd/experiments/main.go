@@ -1,0 +1,103 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig4,fig6a -measure 1000000 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/floorplan"
+	"stackedsim/internal/thermal"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,tsv,thermal,ablations")
+		warmup  = flag.Int64("warmup", 200_000, "warmup cycles per run")
+		measure = flag.Int64("measure", 600_000, "measured cycles per run")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	r := core.NewRunner(*warmup, *measure)
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := wanted["all"]
+	want := func(name string) bool { return all || wanted[name] }
+
+	type figFn func() (*core.Figure, error)
+	figures := []struct {
+		name   string
+		format string
+		fn     figFn
+	}{
+		{"table2a", "%.1f", r.Table2a},
+		{"table2b", "%.3f", r.Table2b},
+		{"fig4", "%.2f", r.Figure4},
+		{"fig6a", "%.3f", r.Figure6a},
+		{"fig6b", "%.3f", r.Figure6b},
+		{"fig7a", "%.1f", func() (*core.Figure, error) { return r.Figure7(false) }},
+		{"fig7b", "%.1f", func() (*core.Figure, error) { return r.Figure7(true) }},
+		{"fig9a", "%.1f", func() (*core.Figure, error) { return r.Figure9(false) }},
+		{"fig9b", "%.1f", func() (*core.Figure, error) { return r.Figure9(true) }},
+		{"vbfprobes", "%.2f", r.VBFProbes},
+		{"energy", "%.2f", r.EnergyFigure},
+		{"banking", "%.3f", r.MSHRBankingFigure},
+		{"stability", "%.4f", r.StabilityFigure},
+		{"ablations", "%.3f", r.Ablations},
+	}
+
+	ran := 0
+	if want("table1") {
+		fmt.Println("Table 1: baseline quad-core processor parameters")
+		fmt.Println(config.Table1())
+		ran++
+	}
+	for _, f := range figures {
+		if !want(f.name) {
+			continue
+		}
+		fig, err := f.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		if *csvOut {
+			fmt.Print(fig.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(fig.Render(f.format))
+		}
+		ran++
+	}
+	if want("tsv") {
+		fmt.Println(floorplan.Report())
+		ran++
+	}
+	if want("thermal") {
+		fmt.Println("Thermal check (Section 2.4): 8 DRAM layers + logic over a quad-core")
+		fmt.Println(thermal.NewCPUDRAMStack(8, 80, 1.5, true).Report())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

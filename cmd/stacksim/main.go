@@ -1,0 +1,164 @@
+// Command stacksim runs one simulation: a memory organization preset
+// (optionally tweaked) against a Table 2b mix or an ad-hoc list of
+// benchmarks, and prints the collected metrics.
+//
+// Usage:
+//
+//	stacksim -config 3D-fast -mix VH1
+//	stacksim -config quadmc -bench S.copy,mcf -measure 1000000
+//	stacksim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/cpu"
+	"stackedsim/internal/trace"
+	"stackedsim/internal/workload"
+)
+
+func preset(name string) (*config.Config, bool) {
+	switch strings.ToLower(name) {
+	case "2d":
+		return config.Baseline2D(), true
+	case "3d":
+		return config.Simple3D(), true
+	case "3d-wide", "wide":
+		return config.Wide3D(), true
+	case "3d-fast", "fast":
+		return config.Fast3D(), true
+	case "dualmc":
+		return config.DualMC(), true
+	case "quadmc":
+		return config.QuadMC(), true
+	}
+	return nil, false
+}
+
+func main() {
+	var (
+		cfgName = flag.String("config", "3D-fast", "preset: 2D, 3D, 3D-wide, 3D-fast, dualMC, quadMC")
+		mixName = flag.String("mix", "", "Table 2b mix to run (H1..M3)")
+		benches = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		warmup  = flag.Int64("warmup", 200_000, "warmup cycles")
+		measure = flag.Int64("measure", 600_000, "measured cycles")
+		mshrX   = flag.Int("mshr", 1, "L2 MSHR capacity multiplier (1,2,4,8)")
+		vbf     = flag.Bool("vbf", false, "use the VBF-based L2 MSHR")
+		dynamic = flag.Bool("dynamic", false, "enable dynamic MSHR resizing")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		cwf     = flag.Bool("cwf", false, "critical-word-first read delivery")
+		smart   = flag.Bool("smartrefresh", false, "skip refreshes for access-restored rows")
+		unified = flag.Bool("unified-mshr", false, "one shared L2 MSHR file instead of per-MC banks")
+		traces  = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
+		list    = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (Table 2a):")
+		for _, s := range workload.Specs {
+			fmt.Printf("  %-12s %-9s paper MPKI %6.1f  pattern %s\n", s.Name, s.Suite, s.PaperMPKI, s.Pattern)
+		}
+		fmt.Println("mixes (Table 2b):")
+		for _, m := range workload.Mixes {
+			fmt.Printf("  %-4s (%s): %v\n", m.Name, m.Group, m.Benchmarks)
+		}
+		return
+	}
+
+	cfg, ok := preset(*cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stacksim: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+	if *mshrX != 1 || *vbf || *dynamic {
+		kind := config.MSHRIdealCAM
+		if *vbf {
+			kind = config.MSHRVBF
+		}
+		cfg = cfg.WithMSHR(*mshrX, kind, *dynamic)
+	}
+	cfg.WarmupCycles = *warmup
+	cfg.MeasureCycles = *measure
+	cfg.Seed = *seed
+	cfg.CriticalWordFirst = *cwf
+	cfg.SmartRefresh = *smart
+	cfg.MSHRUnified = *unified
+
+	if *traces != "" {
+		files := strings.Split(*traces, ",")
+		sources := make([]cpu.UOpSource, len(files))
+		for i, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := trace.NewReader(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			sources[i] = r
+		}
+		sys, err := core.NewSystemFromSources(cfg, sources, files)
+		if err != nil {
+			fatal(err)
+		}
+		report(cfg, sys.Run())
+		return
+	}
+
+	var names []string
+	switch {
+	case *mixName != "":
+		mix, ok := workload.MixByName(*mixName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stacksim: unknown mix %q\n", *mixName)
+			os.Exit(2)
+		}
+		names = mix.Benchmarks[:]
+	case *benches != "":
+		names = strings.Split(*benches, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "stacksim: need -mix or -bench (see -list)")
+		os.Exit(2)
+	}
+
+	sys, err := core.NewSystem(cfg, names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+		os.Exit(1)
+	}
+	report(cfg, sys.Run())
+}
+
+// report prints the collected metrics.
+func report(cfg *config.Config, m core.Metrics) {
+	fmt.Printf("config: %s   warmup=%d measured=%d cycles\n", cfg.Name, cfg.WarmupCycles, cfg.MeasureCycles)
+	fmt.Printf("HMIPC: %.4f\n", m.HMIPC)
+	for i, b := range m.Benchmarks {
+		fmt.Printf("  core%d %-12s IPC=%.4f  L2 demand MPKI=%.1f\n", i, b, m.IPC[i], m.MPKI[i])
+	}
+	fmt.Printf("L2 miss rate:      %.3f\n", m.L2MissRate)
+	fmt.Printf("DRAM row-hit rate: %.3f\n", m.RowHitRate)
+	fmt.Printf("bus utilization:   %.3f\n", m.BusUtilization)
+	fmt.Printf("DRAM reads/writes: %d / %d\n", m.DRAMReads, m.DRAMWrites)
+	fmt.Printf("MSHR-full set-asides: %d\n", m.MSHRFullStalls)
+	fmt.Printf("DRAM energy: %s\n", m.Energy)
+	if m.RefreshSkipRate > 0 {
+		fmt.Printf("refreshes skipped: %.1f%%\n", 100*m.RefreshSkipRate)
+	}
+	if m.ProbesPerAccess > 0 {
+		fmt.Printf("MSHR probes/access: %.2f\n", m.ProbesPerAccess)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+	os.Exit(1)
+}

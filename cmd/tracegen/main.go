@@ -1,0 +1,97 @@
+// Command tracegen records a benchmark's synthetic μop stream to a
+// binary trace, or inspects an existing trace.
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.trace
+//	tracegen -inspect mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stackedsim/internal/trace"
+	"stackedsim/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark to record (see stacksim -list)")
+		n       = flag.Uint64("n", 1_000_000, "μops to record")
+		out     = flag.String("o", "", "output trace file")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		inspect = flag.String("inspect", "", "print statistics of an existing trace")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var memOps, stores, deps, mispred uint64
+		for i := 0; i < r.Len(); i++ {
+			op := r.Next()
+			if op.Mem {
+				memOps++
+				if op.Store {
+					stores++
+				}
+				if op.DependsOnPrev {
+					deps++
+				}
+			}
+			if op.Mispredict {
+				mispred++
+			}
+		}
+		total := uint64(r.Len())
+		fmt.Printf("%s: %d μops\n", *inspect, total)
+		fmt.Printf("  memory:     %d (%.1f%%)\n", memOps, 100*float64(memOps)/float64(total))
+		fmt.Printf("  stores:     %d (%.1f%% of mem)\n", stores, pct(stores, memOps))
+		fmt.Printf("  dependent:  %d (%.1f%% of mem)\n", deps, pct(deps, memOps))
+		fmt.Printf("  mispredict: %d (%.2f%%)\n", mispred, 100*float64(mispred)/float64(total))
+		return
+	}
+
+	if *bench == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: need -bench and -o (or -inspect)")
+		os.Exit(2)
+	}
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	gen := workload.NewGenerator(spec, *seed)
+	if err := trace.Record(f, gen, *n); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d μops of %s to %s\n", *n, *bench, *out)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

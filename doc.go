@@ -1,0 +1,13 @@
+// Package stackedsim is a from-scratch, cycle-level Go reproduction of
+// Gabriel H. Loh, "3D-Stacked Memory Architectures for Multi-Core
+// Processors" (ISCA 2008).
+//
+// The repository root holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see bench_test.go and
+// DESIGN.md's per-experiment index); the simulator itself lives under
+// internal/ and the runnable entry points under cmd/ and examples/.
+//
+// Start with README.md for orientation, DESIGN.md for the system
+// inventory and documented substitutions, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package stackedsim

@@ -1,0 +1,63 @@
+// MSHR tuning: the Section 5 story on one workload. Scales the L2 miss
+// handling architecture on the quad-MC organization and compares the
+// ideal CAM, the Vector-Bloom-Filter MSHR, and dynamic capacity tuning,
+// including the VBF's probe statistics.
+//
+//	go run ./examples/mshrtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/stats"
+)
+
+func main() {
+	base := config.QuadMC()
+	const mix = "VH3" // tigr, libquantum, qsort, soplex: MSHR-hungry
+
+	type variant struct {
+		label string
+		cfg   *config.Config
+	}
+	variants := []variant{
+		{"baseline 8-entry MSHR", base},
+		{"2x MSHR (ideal CAM)", base.WithMSHR(2, config.MSHRIdealCAM, false)},
+		{"4x MSHR (ideal CAM)", base.WithMSHR(4, config.MSHRIdealCAM, false)},
+		{"8x MSHR (ideal CAM)", base.WithMSHR(8, config.MSHRIdealCAM, false)},
+		{"8x MSHR (linear probing)", base.WithMSHR(8, config.MSHRLinearProbe, false)},
+		{"8x MSHR (VBF)", base.WithMSHR(8, config.MSHRVBF, false)},
+		{"8x MSHR (VBF + dynamic)", base.WithMSHR(8, config.MSHRVBF, true)},
+	}
+
+	table := stats.NewTable("L2 MHA", "HMIPC", "vs baseline", "MSHR stalls", "probes/access")
+	var baseline float64
+	for _, v := range variants {
+		m, err := core.RunMix(v.cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = m.HMIPC
+		}
+		probes := "-"
+		if m.ProbesPerAccess > 0 {
+			probes = fmt.Sprintf("%.2f", m.ProbesPerAccess)
+		}
+		table.AddRow(v.label,
+			fmt.Sprintf("%.4f", m.HMIPC),
+			fmt.Sprintf("%+.1f%%", 100*(m.HMIPC/baseline-1)),
+			fmt.Sprintf("%d", m.MSHRFullStalls),
+			probes,
+		)
+	}
+	fmt.Printf("Scaling the L2 miss handling architecture on %s / %s:\n\n", base.Name, mix)
+	fmt.Print(table.String())
+	fmt.Println()
+	fmt.Println("The direct-mapped VBF MSHR tracks the (impractical) single-cycle CAM")
+	fmt.Println("because the filter keeps the average search to ~2 probes, and dynamic")
+	fmt.Println("resizing protects the workloads that larger MSHRs would hurt.")
+}

@@ -1,0 +1,60 @@
+// Streamlab: the decomposed Stream study. Runs the VH2 mix (copy,
+// scale, add, triad — one kernel per core) across every memory
+// organization and shows how each Stream kernel responds to bus width,
+// array latency, and memory-level parallelism.
+//
+//	go run ./examples/streamlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/stats"
+)
+
+func main() {
+	configs := []*config.Config{
+		config.Baseline2D(),
+		config.Simple3D(),
+		config.Wide3D(),
+		config.Fast3D(),
+		config.DualMC(),
+		config.QuadMC(),
+	}
+	// Give the bandwidth study a slightly longer window: Stream is
+	// steady-state almost immediately, but MC queues take a while to
+	// reach equilibrium.
+	table := stats.NewTable("organization", "S.copy", "S.scale", "S.add", "S.triad", "HMIPC", "bus util", "row hit")
+	var base float64
+	for _, cfg := range configs {
+		cfg.MeasureCycles = 800_000
+		m, err := core.RunMix(cfg, "VH2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = m.HMIPC
+		}
+		table.AddRow(cfg.Name,
+			fmt.Sprintf("%.4f", m.IPC[0]),
+			fmt.Sprintf("%.4f", m.IPC[1]),
+			fmt.Sprintf("%.4f", m.IPC[2]),
+			fmt.Sprintf("%.4f", m.IPC[3]),
+			fmt.Sprintf("%.4f (%.2fx)", m.HMIPC, m.HMIPC/base),
+			fmt.Sprintf("%.2f", m.BusUtilization),
+			fmt.Sprintf("%.2f", m.RowHitRate),
+		)
+	}
+	fmt.Println("Decomposed Stream (VH2) across memory organizations:")
+	fmt.Println()
+	fmt.Print(table.String())
+	fmt.Println()
+	fmt.Println("Reading the table: the 2D bus saturates (util ~1.0) and caps every")
+	fmt.Println("kernel; widening the on-stack bus (3D-wide) trades bus cycles for")
+	fmt.Println("bank timing; the true-3D arrays (3D-fast) cut the array latency; and")
+	fmt.Println("the multi-controller organizations turn the leftover row-buffer")
+	fmt.Println("locality into bandwidth.")
+}

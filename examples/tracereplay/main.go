@@ -1,0 +1,66 @@
+// Tracereplay: record a benchmark's μop stream to a binary trace, then
+// drive the simulator from the replayed trace and verify it reproduces
+// the generator-driven run exactly. This is the workflow behind
+// cmd/tracegen: traces freeze a workload so results stay comparable
+// across generator changes.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/cpu"
+	"stackedsim/internal/trace"
+	"stackedsim/internal/workload"
+)
+
+func main() {
+	const bench = "mcf"
+	cfg := config.Fast3D()
+	cfg.Cores = 1
+	cfg.WarmupCycles = 100_000
+	cfg.MeasureCycles = 300_000
+
+	spec, _ := workload.ByName(bench)
+
+	// 1. Record: capture enough μops to cover warmup + measurement.
+	var buf bytes.Buffer
+	const nOps = 2_000_000
+	if err := trace.Record(&buf, workload.NewGenerator(spec, cfg.Seed), nOps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d muops of %s: %d bytes (%.2f bytes/muop)\n",
+		nOps, bench, buf.Len(), float64(buf.Len())/nOps)
+
+	// 2. Replay the trace through a full system.
+	reader, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystemFromSources(cfg, []cpu.UOpSource{reader}, []string{bench + ".trace"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed := sys.Run()
+
+	// 3. Run the generator directly for comparison.
+	direct, err := core.RunSingle(cfg, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %12s %12s\n", "", "direct", "replayed")
+	fmt.Printf("%-12s %12.4f %12.4f\n", "IPC", direct.IPC[0], replayed.IPC[0])
+	fmt.Printf("%-12s %12.1f %12.1f\n", "L2 MPKI", direct.MPKI[0], replayed.MPKI[0])
+	fmt.Printf("%-12s %12d %12d\n", "DRAM reads", direct.DRAMReads, replayed.DRAMReads)
+	if direct.IPC[0] == replayed.IPC[0] && direct.DRAMReads == replayed.DRAMReads {
+		fmt.Println("\nreplay is cycle-exact: the trace fully captures the workload")
+	} else {
+		fmt.Println("\nWARNING: replay diverged from the generator run")
+	}
+}

@@ -1,0 +1,3 @@
+module stackedsim
+
+go 1.24

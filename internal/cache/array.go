@@ -1,0 +1,193 @@
+// Package cache implements the cache hierarchy: passive set-associative
+// arrays with LRU replacement, the L1 controllers (with MSHRs and
+// prefetchers), and the banked shared L2 with its miss handling
+// architecture — the structures whose organization Sections 4 and 5 of
+// the paper rework for 3D stacking.
+package cache
+
+import (
+	"fmt"
+
+	"stackedsim/internal/mem"
+)
+
+// ArrayStats counts array-level events.
+type ArrayStats struct {
+	Lookups    uint64
+	Hits       uint64
+	Fills      uint64
+	Evictions  uint64
+	DirtyEvict uint64
+}
+
+// MissRate reports misses/lookups.
+func (s *ArrayStats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Lookups-s.Hits) / float64(s.Lookups)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// Array is a passive set-associative cache array with true-LRU
+// replacement. All addresses passed in must be line-aligned.
+type Array struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes int
+	lines     []line // sets*ways, set-major
+	clock     uint64 // LRU stamp source
+	stats     ArrayStats
+}
+
+// NewArray returns an array with the given geometry. Sets may be any
+// positive count (indexing uses modulo), which lets the Figure 6a
+// "+512KB / +1MB L2" variants widen associativity precisely.
+func NewArray(name string, sets, ways, lineBytes int) *Array {
+	if sets < 1 || ways < 1 {
+		panic(fmt.Sprintf("cache %s: geometry %d sets x %d ways invalid", name, sets, ways))
+	}
+	if lineBytes < 1 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d must be a power of two", name, lineBytes))
+	}
+	return &Array{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		lines:     make([]line, sets*ways),
+	}
+}
+
+// NewArrayBySize derives the set count from a total size in bytes; the
+// size must divide evenly into sets.
+func NewArrayBySize(name string, sizeBytes, ways, lineBytes int) *Array {
+	if sizeBytes <= 0 || sizeBytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by %d ways x %d bytes", name, sizeBytes, ways, lineBytes))
+	}
+	return NewArray(name, sizeBytes/(ways*lineBytes), ways, lineBytes)
+}
+
+// Name reports the array's label.
+func (a *Array) Name() string { return a.name }
+
+// Sets reports the set count.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways reports the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// SizeBytes reports the total capacity.
+func (a *Array) SizeBytes() int { return a.sets * a.ways * a.lineBytes }
+
+// Stats returns the counters.
+func (a *Array) Stats() *ArrayStats { return &a.stats }
+
+func (a *Array) index(lineAddr mem.Addr) (set int, tag uint64) {
+	n := uint64(lineAddr) / uint64(a.lineBytes)
+	return int(n % uint64(a.sets)), n / uint64(a.sets)
+}
+
+func (a *Array) find(set int, tag uint64) int {
+	base := set * a.ways
+	for w := 0; w < a.ways; w++ {
+		if l := &a.lines[base+w]; l.valid && l.tag == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Lookup probes for lineAddr, updating LRU and stats on a hit.
+func (a *Array) Lookup(lineAddr mem.Addr) bool {
+	a.stats.Lookups++
+	set, tag := a.index(lineAddr)
+	if i := a.find(set, tag); i >= 0 {
+		a.stats.Hits++
+		a.clock++
+		a.lines[i].used = a.clock
+		return true
+	}
+	return false
+}
+
+// Contains probes without touching LRU state or stats.
+func (a *Array) Contains(lineAddr mem.Addr) bool {
+	set, tag := a.index(lineAddr)
+	return a.find(set, tag) >= 0
+}
+
+// MarkDirty sets the dirty bit; it reports false if the line is absent.
+func (a *Array) MarkDirty(lineAddr mem.Addr) bool {
+	set, tag := a.index(lineAddr)
+	i := a.find(set, tag)
+	if i < 0 {
+		return false
+	}
+	a.lines[i].dirty = true
+	return true
+}
+
+// Fill inserts lineAddr (which must be absent), evicting the LRU way if
+// the set is full. It returns the evicted line's address and dirtiness.
+func (a *Array) Fill(lineAddr mem.Addr, dirty bool) (victim mem.Addr, victimDirty, evicted bool) {
+	set, tag := a.index(lineAddr)
+	if a.find(set, tag) >= 0 {
+		panic(fmt.Sprintf("cache %s: Fill of present line %#x", a.name, uint64(lineAddr)))
+	}
+	a.stats.Fills++
+	base := set * a.ways
+	victimWay := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < a.ways; w++ {
+		l := &a.lines[base+w]
+		if !l.valid {
+			victimWay = w
+			evicted = false
+			break
+		}
+		if l.used < oldest {
+			oldest = l.used
+			victimWay = w
+			evicted = true
+		}
+	}
+	l := &a.lines[base+victimWay]
+	if evicted {
+		a.stats.Evictions++
+		victim = a.lineFor(set, l.tag)
+		victimDirty = l.dirty
+		if l.dirty {
+			a.stats.DirtyEvict++
+		}
+	}
+	a.clock++
+	*l = line{tag: tag, valid: true, dirty: dirty, used: a.clock}
+	return victim, victimDirty, evicted
+}
+
+// Invalidate drops lineAddr, reporting whether it was present and dirty.
+func (a *Array) Invalidate(lineAddr mem.Addr) (wasPresent, wasDirty bool) {
+	set, tag := a.index(lineAddr)
+	i := a.find(set, tag)
+	if i < 0 {
+		return false, false
+	}
+	wasDirty = a.lines[i].dirty
+	a.lines[i] = line{}
+	return true, wasDirty
+}
+
+func (a *Array) lineFor(set int, tag uint64) mem.Addr {
+	return mem.Addr((tag*uint64(a.sets) + uint64(set)) * uint64(a.lineBytes))
+}
+
+// ResetStats zeroes the counters (end of warmup).
+func (a *Array) ResetStats() { a.stats = ArrayStats{} }

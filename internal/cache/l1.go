@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"fmt"
+
+	"stackedsim/internal/mem"
+	"stackedsim/internal/prefetch"
+	"stackedsim/internal/sim"
+)
+
+// Port accepts memory requests from the level above. Submit reports
+// whether the request was accepted; a false return means "retry later"
+// (queue full), providing the back-pressure path from DRAM all the way up
+// to the cores.
+type Port interface {
+	Submit(r *mem.Request, now sim.Cycle) bool
+}
+
+// AccessOutcome is the immediate result of an L1 access.
+type AccessOutcome int
+
+const (
+	// Hit: data available after the L1 latency.
+	Hit AccessOutcome = iota
+	// Miss: an MSHR was allocated or merged; the done callback fires
+	// when the fill completes.
+	Miss
+	// Blocked: no MSHR available; the core must retry next cycle.
+	Blocked
+)
+
+// L1Stats counts L1 controller events.
+type L1Stats struct {
+	Loads         uint64
+	Stores        uint64
+	Misses        uint64
+	Merges        uint64
+	Blocked       uint64
+	Prefetches    uint64
+	PrefetchDrops uint64 // prefetches the hierarchy discarded
+	Writebacks    uint64
+}
+
+type l1Miss struct {
+	line    mem.Addr
+	waiters []func(now sim.Cycle)
+	dirty   bool // a store is merged: fill dirty
+}
+
+// L1 is a private per-core data cache controller: a lockup-free cache
+// with a fixed number of MSHRs, write-back write-allocate policy, and the
+// Table 1 prefetchers (next-line plus IP-stride).
+type L1 struct {
+	core      int
+	arr       *Array
+	latency   sim.Cycle
+	lineBytes int
+	mshrCap   int
+	misses    map[mem.Addr]*l1Miss
+	below     Port
+	ids       *mem.IDSource
+	stride    *prefetch.Stride
+	nextline  bool
+	retry     []*mem.Request // rejected by the level below
+	stats     L1Stats
+}
+
+// L1Params configures a controller.
+type L1Params struct {
+	Core      int
+	Array     *Array
+	Latency   sim.Cycle
+	LineBytes int
+	MSHRs     int
+	Below     Port
+	IDs       *mem.IDSource
+	Prefetch  bool
+}
+
+// NewL1 builds an L1 controller.
+func NewL1(p L1Params) *L1 {
+	if p.Array == nil || p.Below == nil || p.IDs == nil {
+		panic("cache: NewL1 missing array, below port, or ID source")
+	}
+	if p.MSHRs < 1 {
+		panic(fmt.Sprintf("cache: L1 MSHRs %d must be >= 1", p.MSHRs))
+	}
+	l := &L1{
+		core:      p.Core,
+		arr:       p.Array,
+		latency:   p.Latency,
+		lineBytes: p.LineBytes,
+		mshrCap:   p.MSHRs,
+		misses:    make(map[mem.Addr]*l1Miss),
+		below:     p.Below,
+		ids:       p.IDs,
+		nextline:  p.Prefetch,
+	}
+	if p.Prefetch {
+		l.stride = prefetch.NewStride(64)
+	}
+	return l
+}
+
+// Stats returns the counters.
+func (l *L1) Stats() *L1Stats { return &l.stats }
+
+// Latency reports the hit latency in cycles.
+func (l *L1) Latency() sim.Cycle { return l.latency }
+
+// OutstandingMisses reports live MSHR entries.
+func (l *L1) OutstandingMisses() int { return len(l.misses) }
+
+func (l *L1) line(a mem.Addr) mem.Addr { return a &^ mem.Addr(l.lineBytes-1) }
+
+// Access performs a load or store at cycle now. On Hit the caller should
+// treat the data as ready at now+Latency(). On Miss, done fires when the
+// line arrives. On Blocked nothing was done and the core must retry.
+func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done func(now sim.Cycle)) AccessOutcome {
+	if store {
+		l.stats.Stores++
+	} else {
+		l.stats.Loads++
+	}
+	ln := l.line(addr)
+	if l.arr.Lookup(ln) {
+		if store {
+			l.arr.MarkDirty(ln)
+		}
+		l.train(now, pc, addr)
+		return Hit
+	}
+	if m, ok := l.misses[ln]; ok {
+		// Secondary miss: merge.
+		l.stats.Merges++
+		m.waiters = append(m.waiters, done)
+		if store {
+			m.dirty = true
+		}
+		l.train(now, pc, addr)
+		return Miss
+	}
+	if len(l.misses) >= l.mshrCap {
+		l.stats.Blocked++
+		return Blocked
+	}
+	l.stats.Misses++
+	m := &l1Miss{line: ln, waiters: []func(sim.Cycle){done}, dirty: store}
+	l.misses[ln] = m
+	r := &mem.Request{
+		ID:   l.ids.Next(),
+		Kind: mem.Read, // write-allocate: fetch the line even for stores
+		Addr: addr,
+		Line: ln,
+		Core: l.core,
+		PC:   pc,
+		Born: now,
+	}
+	r.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	l.send(r, now)
+	l.train(now, pc, addr)
+	return Miss
+}
+
+// train feeds the prefetchers and issues at most one prefetch per access.
+func (l *L1) train(now sim.Cycle, pc uint64, addr mem.Addr) {
+	if !l.nextline {
+		return
+	}
+	if next, ok := l.stride.Observe(pc, addr); ok {
+		l.maybePrefetch(now, pc, next)
+		return
+	}
+	l.maybePrefetch(now, pc, prefetch.NextLine(addr, l.lineBytes))
+}
+
+func (l *L1) maybePrefetch(now sim.Cycle, pc uint64, addr mem.Addr) {
+	ln := l.line(addr)
+	if l.arr.Contains(ln) {
+		return
+	}
+	if _, pending := l.misses[ln]; pending {
+		return
+	}
+	if len(l.misses) >= l.mshrCap {
+		return // never stall demand traffic for a prefetch
+	}
+	l.stats.Prefetches++
+	l.misses[ln] = &l1Miss{line: ln}
+	r := &mem.Request{
+		ID:   l.ids.Next(),
+		Kind: mem.Prefetch,
+		Addr: addr,
+		Line: ln,
+		Core: l.core,
+		PC:   pc,
+		Born: now,
+	}
+	r.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	l.send(r, now)
+}
+
+// handleDone dispatches a completed request: dropped prefetches unwind,
+// everything else fills.
+func (l *L1) handleDone(r *mem.Request, now sim.Cycle) {
+	if r.Dropped {
+		l.drop(r, now)
+		return
+	}
+	l.fill(r.Line, now)
+}
+
+// drop unwinds a prefetch the hierarchy discarded. If demand misses
+// merged into it while it was in flight, the line is re-requested as
+// demand traffic; otherwise the MSHR entry simply goes away.
+func (l *L1) drop(r *mem.Request, now sim.Cycle) {
+	m, ok := l.misses[r.Line]
+	if !ok {
+		panic(fmt.Sprintf("cache: L1 drop for unknown line %#x", uint64(r.Line)))
+	}
+	if len(m.waiters) == 0 && !m.dirty {
+		l.stats.PrefetchDrops++
+		delete(l.misses, r.Line)
+		return
+	}
+	// A demand access merged in: the data is needed after all.
+	demand := &mem.Request{
+		ID:   l.ids.Next(),
+		Kind: mem.Read,
+		Addr: r.Addr,
+		Line: r.Line,
+		Core: l.core,
+		PC:   r.PC,
+		Born: now,
+	}
+	demand.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	l.send(demand, now)
+}
+
+// fill handles a returning line: install it, write back any dirty victim,
+// and wake the waiters.
+func (l *L1) fill(ln mem.Addr, now sim.Cycle) {
+	m, ok := l.misses[ln]
+	if !ok {
+		panic(fmt.Sprintf("cache: L1 fill for unknown line %#x", uint64(ln)))
+	}
+	delete(l.misses, ln)
+	victim, victimDirty, evicted := l.arr.Fill(ln, m.dirty)
+	if evicted && victimDirty {
+		l.stats.Writebacks++
+		wb := &mem.Request{
+			ID:   l.ids.Next(),
+			Kind: mem.Writeback,
+			Addr: victim,
+			Line: victim,
+			Core: l.core,
+			Born: now,
+		}
+		l.send(wb, now)
+	}
+	for _, w := range m.waiters {
+		if w != nil {
+			w(now)
+		}
+	}
+}
+
+func (l *L1) send(r *mem.Request, now sim.Cycle) {
+	if !l.below.Submit(r, now) {
+		l.retry = append(l.retry, r)
+	}
+}
+
+// Tick retries requests the level below rejected.
+func (l *L1) Tick(now sim.Cycle) {
+	if len(l.retry) == 0 {
+		return
+	}
+	kept := l.retry[:0]
+	for i, r := range l.retry {
+		if len(kept) > 0 || !l.below.Submit(r, now) {
+			kept = append(kept, l.retry[i])
+		}
+	}
+	l.retry = kept
+}
+
+// ResetStats zeroes the counters (end of warmup).
+func (l *L1) ResetStats() { l.stats = L1Stats{} }

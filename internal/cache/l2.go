@@ -1,0 +1,517 @@
+package cache
+
+import (
+	"fmt"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/memctrl"
+	"stackedsim/internal/mshr"
+	"stackedsim/internal/prefetch"
+	"stackedsim/internal/sim"
+)
+
+// L2Stats counts shared-L2 events.
+type L2Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	DemandMisses  uint64 // misses from demand (non-prefetch, non-writeback) traffic
+	MSHRStalls    uint64 // cycles a bank head was blocked on a full MSHR
+	ProbeStalls   uint64 // cycles spent waiting for/performing MSHR probes
+	Prefetches    uint64
+	WritebacksIn  uint64 // writebacks received from L1s
+	WritebacksOut uint64 // dirty L2 victims sent to memory
+	MCRejects     uint64 // MC submissions deferred on a full MRQ
+}
+
+// unissuedEntry remembers which MSHR bank an entry deferred on a full
+// MRQ belongs to.
+type unissuedEntry struct {
+	mshrIdx int
+	e       *mshr.Entry
+}
+
+// l2bank is one bank of the shared cache: its own array slice and a
+// bounded input queue, accepting one request per cycle.
+type l2bank struct {
+	arr  *Array
+	inq  *sim.Queue[*mem.Request]
+	busy sim.Cycle
+}
+
+// L2Params configures the shared L2 subsystem.
+type L2Params struct {
+	Cfg  *config.Config
+	AMap mem.AddrMap
+	MCs  []*memctrl.Controller
+	IDs  *mem.IDSource
+}
+
+// L2 is the shared, banked second-level cache plus its miss handling
+// architecture: per-MC MSHR banks (ideal CAM, linear-probe, or VBF;
+// Section 5), routing to the memory controllers (aligned page
+// interleaving per Figure 5, or line interleaving with a crossbar
+// penalty), and the L2 prefetchers.
+type L2 struct {
+	cfg       *config.Config
+	amap      mem.AddrMap
+	banks     []*l2bank
+	latency   sim.Cycle
+	lineBytes int
+	pageBytes int
+
+	mshrBanks []*mshr.File
+	mshrBusy  []sim.Cycle
+	mshrLat   sim.Cycle
+
+	mcs      []*memctrl.Controller
+	unissued [][]unissuedEntry // per MC: allocated but not yet in the MRQ
+	wbQ      [][]*mem.Request
+	// mshrWait holds misses that found their MSHR bank full. They are
+	// set aside (the bank pipeline keeps flowing — a full MSHR must not
+	// head-of-line-block unrelated hits) and retried as entries free up.
+	mshrWait [][]*mem.Request
+
+	ids      *mem.IDSource
+	stride   *prefetch.Stride
+	events   sim.EventQueue
+	now      sim.Cycle
+	stats    L2Stats
+	missesBy []uint64 // demand misses per core (MPKI accounting)
+
+	// crossPenalty is the extra latency for L2-bank-to-MC routing when
+	// banking granularities are mismatched (line-interleaved L2 with
+	// multiple MCs requires a full crossbar; Section 4.1).
+	crossPenalty sim.Cycle
+}
+
+// bankQueueCap bounds each bank's input queue; a full queue pushes back
+// to the L1s.
+const bankQueueCap = 16
+
+// NewL2 builds the shared L2 from the configuration. The mcs slice must
+// have cfg.MCs controllers whose Respond callbacks complete requests
+// (completion reaches this L2 through each read's OnDone handler).
+func NewL2(p L2Params) *L2 {
+	cfg := p.Cfg
+	if cfg == nil || p.IDs == nil {
+		panic("cache: NewL2 missing config or ID source")
+	}
+	if len(p.MCs) != cfg.MCs {
+		panic(fmt.Sprintf("cache: %d MCs provided, config wants %d", len(p.MCs), cfg.MCs))
+	}
+	totalBytes := (cfg.L2SizeKB + cfg.L2ExtraKB) * 1024
+	perBank := totalBytes / cfg.L2Banks
+	sets := perBank / (cfg.L2Ways * cfg.LineBytes)
+	if sets < 1 {
+		panic("cache: L2 bank has zero sets")
+	}
+	l := &L2{
+		cfg:          cfg,
+		amap:         p.AMap,
+		latency:      sim.Cycle(cfg.L2Latency),
+		lineBytes:    cfg.LineBytes,
+		pageBytes:    cfg.PageBytes,
+		mcs:          p.MCs,
+		ids:          p.IDs,
+		mshrLat:      sim.Cycle(cfg.MSHRBankLat),
+		missesBy:     make([]uint64, cfg.Cores),
+		unissued:     make([][]unissuedEntry, cfg.MCs),
+		wbQ:          make([][]*mem.Request, cfg.MCs),
+		crossPenalty: 0,
+	}
+	if !cfg.L2PageInterleave && cfg.MCs > 1 {
+		l.crossPenalty = 4
+	}
+	for b := 0; b < cfg.L2Banks; b++ {
+		l.banks = append(l.banks, &l2bank{
+			arr: NewArray(fmt.Sprintf("L2b%d", b), sets, cfg.L2Ways, cfg.LineBytes),
+			inq: sim.NewQueue[*mem.Request](bankQueueCap),
+		})
+	}
+	mshrBanks := cfg.MCs
+	if cfg.MSHRUnified {
+		mshrBanks = 1
+	}
+	perMSHRBank := cfg.L2TotalMSHRs() / mshrBanks
+	if perMSHRBank < 1 {
+		perMSHRBank = 1
+	}
+	for m := 0; m < mshrBanks; m++ {
+		l.mshrBanks = append(l.mshrBanks, mshr.New(cfg.L2MSHRKind, perMSHRBank))
+	}
+	l.mshrBusy = make([]sim.Cycle, mshrBanks)
+	l.mshrWait = make([][]*mem.Request, mshrBanks)
+	if cfg.L2Prefetch {
+		l.stride = prefetch.NewStride(256)
+	}
+	return l
+}
+
+// MSHRBanks exposes the MSHR files (for the dynamic resizer and stats).
+func (l *L2) MSHRBanks() []*mshr.File { return l.mshrBanks }
+
+// Stats returns the counters.
+func (l *L2) Stats() *L2Stats { return &l.stats }
+
+// DemandMissesByCore reports per-core L2 demand misses (for MPKI).
+func (l *L2) DemandMissesByCore() []uint64 { return l.missesBy }
+
+// bankFor routes a line to an L2 bank: line interleaving in the
+// traditional organization, page interleaving in the aligned Figure 5
+// floorplan.
+func (l *L2) bankFor(line mem.Addr) int {
+	if l.cfg.L2PageInterleave {
+		return int(uint64(line) / uint64(l.pageBytes) % uint64(len(l.banks)))
+	}
+	return int(uint64(line) / uint64(l.lineBytes) % uint64(len(l.banks)))
+}
+
+// mcFor routes a line to its memory controller.
+func (l *L2) mcFor(line mem.Addr) int { return l.amap.MCOf(line) }
+
+// mshrFor routes a line to its MSHR bank: the MC-aligned bank in the
+// Figure 5 organization, or the single shared file when unified.
+func (l *L2) mshrFor(line mem.Addr) int {
+	if l.cfg.MSHRUnified {
+		return 0
+	}
+	return l.mcFor(line)
+}
+
+// toLocal converts a global line address to a bank-local address by
+// deleting the bank-selection bits, so a bank's array uses all of its
+// sets. (Indexing a bank's array with the global line number would leave
+// 15/16ths of its sets unreachable — every resident line shares the same
+// bank-select residue.)
+func (l *L2) toLocal(line mem.Addr) mem.Addr {
+	nb := uint64(len(l.banks))
+	if l.cfg.L2PageInterleave {
+		page := uint64(line) / uint64(l.pageBytes)
+		return mem.Addr(page/nb*uint64(l.pageBytes) + uint64(line)%uint64(l.pageBytes))
+	}
+	ln := uint64(line) / uint64(l.lineBytes)
+	return mem.Addr(ln / nb * uint64(l.lineBytes))
+}
+
+// toGlobal inverts toLocal for bank's victim addresses.
+func (l *L2) toGlobal(local mem.Addr, bank int) mem.Addr {
+	nb := uint64(len(l.banks))
+	if l.cfg.L2PageInterleave {
+		page := uint64(local) / uint64(l.pageBytes)
+		return mem.Addr((page*nb+uint64(bank))*uint64(l.pageBytes) + uint64(local)%uint64(l.pageBytes))
+	}
+	ln := uint64(local) / uint64(l.lineBytes)
+	return mem.Addr((ln*nb + uint64(bank)) * uint64(l.lineBytes))
+}
+
+// Submit implements Port for the L1 controllers.
+func (l *L2) Submit(r *mem.Request, now sim.Cycle) bool {
+	b := l.banks[l.bankFor(r.Line)]
+	if !b.inq.Push(r) {
+		return false
+	}
+	return true
+}
+
+// Tick processes one cycle: due events (hit completions, fills), then
+// set-aside misses waiting on MSHR space, then one request per free
+// bank, then MC submission retries.
+func (l *L2) Tick(now sim.Cycle) {
+	l.now = now
+	l.events.FireDue(now)
+	l.drainMSHRWaiters(now)
+	for _, b := range l.banks {
+		l.tickBank(b, now)
+	}
+	l.retryMCs(now)
+}
+
+// drainMSHRWaiters retries set-aside misses in arrival order as MSHR
+// entries free up. A waiting line may have been filled by another
+// request in the meantime, in which case it completes as a hit.
+func (l *L2) drainMSHRWaiters(now sim.Cycle) {
+	for m := range l.mshrWait {
+		q := l.mshrWait[m]
+		for len(q) > 0 {
+			r := q[0]
+			if l.banks[l.bankFor(r.Line)].arr.Lookup(l.toLocal(r.Line)) {
+				l.stats.Hits++
+				req := r
+				done := now + l.latency
+				l.events.At(done, func() { req.Complete(done) })
+				q = q[1:]
+				continue
+			}
+			if !l.missPath(r, now) {
+				break // still full; preserve order
+			}
+			q = q[1:]
+		}
+		l.mshrWait[m] = q
+	}
+}
+
+func (l *L2) tickBank(b *l2bank, now sim.Cycle) {
+	if now < b.busy {
+		return
+	}
+	r, ok := b.inq.Peek()
+	if !ok {
+		return
+	}
+	switch r.Kind {
+	case mem.Writeback:
+		b.inq.Pop()
+		b.busy = now + 1
+		l.stats.WritebacksIn++
+		if b.arr.Lookup(l.toLocal(r.Line)) {
+			b.arr.MarkDirty(l.toLocal(r.Line))
+			r.Complete(now)
+			return
+		}
+		// Not present: forward a fresh writeback toward memory
+		// (non-inclusive victim) and finish the original.
+		down := &mem.Request{
+			ID:   l.ids.Next(),
+			Kind: mem.Writeback,
+			Addr: r.Addr,
+			Line: r.Line,
+			Core: -1,
+			Born: now,
+		}
+		l.queueWriteback(down)
+		r.Complete(now)
+		return
+	default:
+		l.stats.Accesses++
+		if b.arr.Lookup(l.toLocal(r.Line)) {
+			b.inq.Pop()
+			b.busy = now + 1
+			l.stats.Hits++
+			req := r
+			done := now + l.latency
+			l.events.At(done, func() { req.Complete(done) })
+			l.trainPrefetch(now, r)
+			return
+		}
+		// Miss: consult the MSHR bank aligned with this line's MC.
+		if !l.missPath(r, now) {
+			// MSHR full: set the miss aside so the bank keeps
+			// serving unrelated requests (the capacity pressure the
+			// Section 5 experiments measure).
+			l.stats.MSHRStalls++
+			m := l.mshrFor(r.Line)
+			l.mshrWait[m] = append(l.mshrWait[m], r)
+		}
+		b.inq.Pop()
+		b.busy = now + 1
+		l.trainPrefetch(now, r)
+	}
+}
+
+// missPath runs the MSHR lookup/merge/allocate sequence for r. It
+// reports false when the request cannot make progress (MSHR full).
+func (l *L2) missPath(r *mem.Request, now sim.Cycle) bool {
+	m := l.mshrFor(r.Line)
+	f := l.mshrBanks[m]
+	// The probe occupies the MSHR bank; model its serialization.
+	start := now + l.latency + l.crossPenalty
+	if l.mshrBusy[m] > start {
+		l.stats.ProbeStalls += uint64(l.mshrBusy[m] - start)
+		start = l.mshrBusy[m]
+	}
+	entry, probes, found := f.Lookup(r.Line)
+	busyFor := sim.Cycle(probes) * l.mshrLat
+	if found {
+		l.mshrBusy[m] = start + busyFor
+		entry.Merge(r)
+		return true
+	}
+	if f.Full() {
+		if r.Kind == mem.Prefetch && r.Core >= 0 {
+			// Drop L1-originated prefetches rather than spend scarce
+			// MSHR capacity on speculation; the L1 unwinds (and
+			// re-issues as demand if a miss merged in meanwhile).
+			l.mshrBusy[m] = start + busyFor
+			r.Dropped = true
+			r.Complete(now)
+			return true
+		}
+		// Demand misses wait for an entry. (L2-internal prefetches
+		// never enter this path — trainPrefetch checks capacity.)
+		return false
+	}
+	entry, ok := f.Allocate(r.Line, r)
+	if !ok {
+		return false
+	}
+	l.mshrBusy[m] = start + busyFor + l.mshrLat // allocation write
+	if r.Kind.IsDemand() && r.Core >= 0 {
+		l.stats.DemandMisses++
+		l.missesBy[r.Core]++
+	}
+	// Issue toward the MC once the MSHR access completes.
+	ready := l.mshrBusy[m]
+	l.events.At(ready, func() { l.issue(m, entry) })
+	return true
+}
+
+// issue sends the entry's memory read to its controller, deferring on a
+// full MRQ. mshrIdx identifies the MSHR bank holding the entry (needed
+// for release); the destination controller comes from the address.
+func (l *L2) issue(mshrIdx int, e *mshr.Entry) {
+	if e.Issued {
+		return
+	}
+	mcIdx := l.mcFor(e.Line)
+	primary := e.Primary()
+	if primary == nil {
+		// Prefetch-originated entries always have a primary; defensive.
+		return
+	}
+	read := &mem.Request{
+		ID:   l.ids.Next(),
+		Kind: mem.Read,
+		Addr: primary.Addr,
+		Line: e.Line,
+		Core: primary.Core,
+		PC:   primary.PC,
+		Born: primary.Born,
+	}
+	read.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleFill(mshrIdx, e, req, at) }
+	if l.mcs[mcIdx].Submit(read, l.now) {
+		e.Issued = true
+	} else {
+		l.stats.MCRejects++
+		l.unissued[mcIdx] = append(l.unissued[mcIdx], unissuedEntry{mshrIdx: mshrIdx, e: e})
+	}
+}
+
+// retryMCs drains deferred MC submissions and writebacks.
+func (l *L2) retryMCs(now sim.Cycle) {
+	for m := range l.mcs {
+		// Writebacks first: they hold no MSHR and starve nothing above.
+		wq := l.wbQ[m]
+		for len(wq) > 0 && l.mcs[m].Submit(wq[0], now) {
+			wq = wq[1:]
+		}
+		l.wbQ[m] = wq
+		uq := l.unissued[m]
+		kept := uq[:0]
+		for i, u := range uq {
+			if u.e.Issued || len(kept) > 0 {
+				if !u.e.Issued {
+					kept = append(kept, uq[i])
+				}
+				continue
+			}
+			l.issue(u.mshrIdx, u.e)
+			if !u.e.Issued {
+				kept = append(kept, uq[i])
+			}
+		}
+		l.unissued[m] = kept
+	}
+}
+
+// handleFill receives a line from memory: install it in the right bank,
+// write back the victim if dirty, wake every waiter, release the entry.
+func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cycle) {
+	bankIdx := l.bankFor(e.Line)
+	b := l.banks[bankIdx]
+	victim, victimDirty, evicted := b.arr.Fill(l.toLocal(e.Line), e.Dirty)
+	if evicted && victimDirty {
+		l.stats.WritebacksOut++
+		victimLine := l.toGlobal(victim, bankIdx)
+		wb := &mem.Request{
+			ID:   l.ids.Next(),
+			Kind: mem.Writeback,
+			Addr: victimLine,
+			Line: victimLine,
+			Core: -1,
+			Born: at,
+		}
+		l.queueWriteback(wb)
+	}
+	for _, w := range e.Waiters {
+		if w.Core < 0 && w.Kind == mem.Prefetch {
+			continue // L2-originated prefetch: the fill was the point
+		}
+		w.Complete(at) // wakes the L1 fill handler (or the L1 prefetch)
+	}
+	l.mshrBanks[mshrIdx].Release(e)
+}
+
+// queueWriteback routes a writeback to its MC, queueing on a full MRQ.
+func (l *L2) queueWriteback(wb *mem.Request) {
+	m := l.mcFor(wb.Line)
+	if !l.mcs[m].Submit(wb, l.now) {
+		l.wbQ[m] = append(l.wbQ[m], wb)
+	}
+}
+
+// trainPrefetch drives the L2 next-line/stride prefetchers with demand
+// traffic and injects prefetch requests directly into the miss path.
+func (l *L2) trainPrefetch(now sim.Cycle, r *mem.Request) {
+	if l.stride == nil || r.Kind == mem.Prefetch || r.Kind == mem.Writeback {
+		return
+	}
+	cand, ok := l.stride.Observe(r.PC, r.Addr)
+	if !ok {
+		cand = prefetch.NextLine(r.Addr, l.lineBytes)
+	}
+	line := cand &^ mem.Addr(l.lineBytes-1)
+	if l.banks[l.bankFor(line)].arr.Contains(l.toLocal(line)) {
+		return
+	}
+	m := l.mshrFor(line)
+	f := l.mshrBanks[m]
+	if _, _, found := f.Lookup(line); found || f.Full() {
+		return
+	}
+	l.stats.Prefetches++
+	pf := &mem.Request{
+		ID:   l.ids.Next(),
+		Kind: mem.Prefetch,
+		Addr: cand,
+		Line: line,
+		Core: -1,
+		PC:   r.PC,
+		Born: now,
+	}
+	entry, ok2 := f.Allocate(line, pf)
+	if !ok2 {
+		return
+	}
+	l.events.At(now+l.mshrLat, func() { l.issue(m, entry) })
+}
+
+// ResetStats zeroes the L2 counters, including per-core miss accounting
+// and each bank array's statistics (end of warmup).
+func (l *L2) ResetStats() {
+	l.stats = L2Stats{}
+	for i := range l.missesBy {
+		l.missesBy[i] = 0
+	}
+	for _, b := range l.banks {
+		b.arr.ResetStats()
+	}
+	for _, f := range l.mshrBanks {
+		f.ResetStats()
+	}
+}
+
+// Debug summarizes live bank state for diagnostics.
+func (l *L2) Debug() string {
+	s := ""
+	for i, b := range l.banks {
+		if b.inq.Len() > 0 {
+			s += fmt.Sprintf("[bank%d inq=%d busy=%d] ", i, b.inq.Len(), b.busy)
+		}
+	}
+	for m, f := range l.mshrBanks {
+		s += fmt.Sprintf("{mshr%d len=%d busy=%d unissued=%d wbq=%d wait=%d} ", m, f.Len(), l.mshrBusy[m], len(l.unissued[m]), len(l.wbQ[m]), len(l.mshrWait[m]))
+	}
+	return s
+}

@@ -1,0 +1,320 @@
+// Package config holds every simulation parameter and the named presets
+// used by the paper's evaluation (Table 1 plus the Section 3-5 sweeps).
+package config
+
+import "fmt"
+
+// MSHRKind selects the L2 miss-handling-architecture implementation.
+type MSHRKind int
+
+const (
+	// MSHRIdealCAM is the idealized single-cycle fully-associative MSHR
+	// the paper uses as its (impractical) reference.
+	MSHRIdealCAM MSHRKind = iota
+	// MSHRLinearProbe is a direct-mapped hash table with linear probing
+	// and no filter: every probe costs a cycle.
+	MSHRLinearProbe
+	// MSHRVBF is the direct-mapped MSHR accelerated by the Vector Bloom
+	// Filter (the paper's Section 5 proposal).
+	MSHRVBF
+)
+
+func (k MSHRKind) String() string {
+	switch k {
+	case MSHRIdealCAM:
+		return "ideal-cam"
+	case MSHRLinearProbe:
+		return "linear-probe"
+	case MSHRVBF:
+		return "vbf"
+	}
+	return fmt.Sprintf("mshrkind(%d)", int(k))
+}
+
+// DRAMTiming carries the array timing parameters in nanoseconds. The
+// consuming DRAM model rounds them up to CPU cycles.
+type DRAMTiming struct {
+	TRASns float64 // activate -> precharge minimum
+	TRCDns float64 // activate -> column command
+	TCASns float64 // column command -> first data (CL)
+	TWRns  float64 // end of write data -> precharge
+	TRPns  float64 // precharge -> activate
+}
+
+// Timing2D is the commodity DDR2 timing from Table 1 (Samsung datasheet).
+func Timing2D() DRAMTiming {
+	return DRAMTiming{TRASns: 36, TRCDns: 12, TCASns: 12, TWRns: 12, TRPns: 12}
+}
+
+// TimingTrue3D is the "true" 3D-split array timing: a 32.5% reduction per
+// Tezzaron's five-layer datasheet numbers, as used for 3D-fast in Table 1.
+func TimingTrue3D() DRAMTiming {
+	return DRAMTiming{TRASns: 24.3, TRCDns: 8.1, TCASns: 8.1, TWRns: 8.1, TRPns: 8.1}
+}
+
+// Config is a complete simulation configuration. Build presets with the
+// constructors below and tweak fields before passing it to core.NewSystem.
+type Config struct {
+	Name string
+
+	// Processor (Table 1, Penryn-derived quad-core).
+	Cores             int
+	CPUMHz            float64
+	DispatchWidth     int // μops/cycle into the ROB
+	CommitWidth       int // μops/cycle retired
+	ROBSize           int
+	LoadPorts         int
+	StorePorts        int
+	MispredictPenalty int // minimum fetch->exec refill, cycles
+
+	// L1 data/instruction caches.
+	LineBytes  int
+	L1SizeKB   int
+	L1Ways     int
+	L1Latency  int // cycles (paper: 2 + 1 addr computation)
+	L1MSHRs    int
+	L1Prefetch bool // next-line + IP-stride
+
+	// Shared L2.
+	L2SizeKB         int
+	L2ExtraKB        int // Figure 6a: spend row-buffer budget on L2 instead
+	L2Ways           int
+	L2Banks          int
+	L2Latency        int // cycles
+	L2MSHRs          int // baseline total entries (8); multiplied below
+	L2PageInterleave bool
+	L2Prefetch       bool
+
+	// Interconnect between the L2/MSHRs and the memory controllers, and
+	// between the MCs and DRAM. BusDivider is CPU cycles per bus cycle
+	// (4 = the 833.3MHz FSB of the 2D baseline, 1 = on-stack at core
+	// clock). BusBytes is the data width (8 = 64-bit, 64 = full line).
+	BusBytes   int
+	BusDivider int
+	BusDDR     bool
+
+	// Memory controllers.
+	MCs         int
+	MRQTotal    int // aggregate request-queue capacity across all MCs
+	SchedFRFCFS bool
+	// CriticalWordFirst delivers the demand word of a read after the
+	// first bus beat; the rest of the line still occupies the bus.
+	// Section 3 discusses why CWF hides narrow buses for single
+	// programs but not under multi-core contention.
+	CriticalWordFirst bool
+
+	// DRAM organization.
+	MemoryGB         int
+	RanksTotal       int
+	BanksPerRank     int
+	PageBytes        int
+	RowBufferEntries int // per bank; >1 = row-buffer cache (LRU)
+	Timing           DRAMTiming
+	RefreshMS        int // 64 off-chip, 32 on-stack (hotter)
+	// SmartRefresh elides refresh commands for row groups that demand
+	// accesses already restored (Ghosh & Lee, the paper's citation
+	// [11]) — an extension experiment.
+	SmartRefresh bool
+
+	// L2 miss handling architecture (Section 5).
+	L2MSHRKind  MSHRKind
+	L2MSHRMult  int  // capacity multiplier over L2MSHRs: 1, 2, 4, 8
+	DynamicMSHR bool // sampling-based 1x / 0.5x / 0.25x resizing
+	// MSHRUnified keeps one shared MSHR file instead of banking it per
+	// memory controller. The Figure 5 floorplan requires banking; the
+	// unified variant exists to isolate how much of the MC-scaling
+	// behaviour is really MSHR-capacity partitioning (see DESIGN.md
+	// deviation 2).
+	MSHRUnified bool
+	MSHRBankLat int // access latency of one MSHR probe, cycles
+	// Dynamic-resizer cadence: cycles per training sample and cycles to
+	// hold the winning setting before resampling.
+	DynSampleCycles int64
+	DynEpochCycles  int64
+
+	// Workload window (scaled-down SimPoint substitute).
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          int64
+}
+
+// Validate reports the first problem with the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("config: Cores = %d", c.Cores)
+	case c.CPUMHz <= 0:
+		return fmt.Errorf("config: CPUMHz = %g", c.CPUMHz)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("config: LineBytes = %d, need power of two", c.LineBytes)
+	case c.L1SizeKB <= 0 || c.L1Ways <= 0 || c.L1MSHRs <= 0:
+		return fmt.Errorf("config: bad L1 geometry %d KB / %d ways / %d mshrs", c.L1SizeKB, c.L1Ways, c.L1MSHRs)
+	case c.L2SizeKB <= 0 || c.L2Ways <= 0 || c.L2Banks <= 0 || c.L2MSHRs <= 0:
+		return fmt.Errorf("config: bad L2 geometry")
+	case c.L2ExtraKB < 0:
+		return fmt.Errorf("config: L2ExtraKB = %d", c.L2ExtraKB)
+	case c.BusBytes <= 0 || c.BusDivider <= 0:
+		return fmt.Errorf("config: bad bus %d bytes / div %d", c.BusBytes, c.BusDivider)
+	case c.MCs <= 0 || c.MRQTotal < c.MCs:
+		return fmt.Errorf("config: %d MCs need MRQTotal >= MCs, have %d", c.MCs, c.MRQTotal)
+	case c.RanksTotal <= 0 || c.RanksTotal%c.MCs != 0:
+		return fmt.Errorf("config: RanksTotal %d must be a positive multiple of MCs %d", c.RanksTotal, c.MCs)
+	case c.BanksPerRank <= 0:
+		return fmt.Errorf("config: BanksPerRank = %d", c.BanksPerRank)
+	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return fmt.Errorf("config: PageBytes = %d", c.PageBytes)
+	case c.RowBufferEntries <= 0:
+		return fmt.Errorf("config: RowBufferEntries = %d", c.RowBufferEntries)
+	case c.L2MSHRMult <= 0:
+		return fmt.Errorf("config: L2MSHRMult = %d", c.L2MSHRMult)
+	case c.MemoryGB <= 0:
+		return fmt.Errorf("config: MemoryGB = %d", c.MemoryGB)
+	case c.L2Banks%c.MCs != 0:
+		return fmt.Errorf("config: L2Banks %d must be a multiple of MCs %d", c.L2Banks, c.MCs)
+	}
+	return nil
+}
+
+// L2TotalMSHRs reports the total L2 MSHR entry count after the multiplier.
+func (c *Config) L2TotalMSHRs() int { return c.L2MSHRs * c.L2MSHRMult }
+
+// RanksPerMC reports ranks owned by each controller.
+func (c *Config) RanksPerMC() int { return c.RanksTotal / c.MCs }
+
+// MRQPerMC reports the per-controller request-queue share of the constant
+// 32-entry aggregate (Section 4.1).
+func (c *Config) MRQPerMC() int { return c.MRQTotal / c.MCs }
+
+// Clone returns a deep copy (Config has no reference fields, so this is a
+// plain value copy kept as a method for call-site clarity).
+func (c *Config) Clone() *Config {
+	dup := *c
+	return &dup
+}
+
+// baseline returns the Table 1 processor with everything except the
+// memory organization filled in.
+func baseline() *Config {
+	return &Config{
+		Cores:             4,
+		CPUMHz:            3333.3,
+		DispatchWidth:     4,
+		CommitWidth:       4,
+		ROBSize:           96,
+		LoadPorts:         1,
+		StorePorts:        1,
+		MispredictPenalty: 14,
+
+		LineBytes:  64,
+		L1SizeKB:   24,
+		L1Ways:     12,
+		L1Latency:  3, // 2-cycle + 1 address computation
+		L1MSHRs:    8,
+		L1Prefetch: true,
+
+		L2SizeKB:   12 * 1024,
+		L2Ways:     24,
+		L2Banks:    16,
+		L2Latency:  9,
+		L2MSHRs:    8,
+		L2Prefetch: true,
+
+		MRQTotal:    32,
+		SchedFRFCFS: true,
+
+		MemoryGB:         8,
+		BanksPerRank:     8,
+		PageBytes:        4096,
+		RowBufferEntries: 1,
+
+		L2MSHRKind:      MSHRIdealCAM,
+		L2MSHRMult:      1,
+		MSHRBankLat:     1,
+		DynSampleCycles: 20_000,
+		DynEpochCycles:  200_000,
+
+		WarmupCycles:  200_000,
+		MeasureCycles: 1_000_000,
+		Seed:          1,
+	}
+}
+
+// Baseline2D is the paper's 2D configuration: off-chip DDR2 DRAM behind a
+// 64-bit 833.3MHz front-side bus, one memory controller, eight ranks.
+func Baseline2D() *Config {
+	c := baseline()
+	c.Name = "2D"
+	c.BusBytes = 8
+	c.BusDivider = 4
+	c.BusDDR = true
+	c.MCs = 1
+	c.RanksTotal = 8
+	c.Timing = Timing2D()
+	c.RefreshMS = 64
+	return c
+}
+
+// Simple3D stacks the same commodity DRAM on the processor: the bus and
+// memory controller now run at core clock, but the arrays are unchanged.
+func Simple3D() *Config {
+	c := Baseline2D()
+	c.Name = "3D"
+	c.BusDivider = 1
+	c.BusDDR = false
+	c.RefreshMS = 32 // on-stack: hotter, faster leakage
+	return c
+}
+
+// Wide3D widens the 3D bus to a full 64-byte cache line per transfer.
+func Wide3D() *Config {
+	c := Simple3D()
+	c.Name = "3D-wide"
+	c.BusBytes = 64
+	return c
+}
+
+// Fast3D adds the "true" 3D-split arrays: stacked bitcells over a
+// dedicated high-speed logic layer, shrinking array timing by 32.5%.
+// This is the Section 3 endpoint and the Section 4 comparison baseline.
+func Fast3D() *Config {
+	c := Wide3D()
+	c.Name = "3D-fast"
+	c.Timing = TimingTrue3D()
+	return c
+}
+
+// Aggressive returns a Section 4 organization on top of Fast3D with the
+// given number of memory controllers, total ranks and row-buffer-cache
+// entries per bank. Page-aligned L2 interleaving and banked MSHRs/MCs are
+// enabled — the streamlined "vertical slice" floorplan of Figure 5.
+func Aggressive(mcs, ranks, rowBufs int) *Config {
+	c := Fast3D()
+	c.Name = fmt.Sprintf("3D-%dmc-%drank-%drb", mcs, ranks, rowBufs)
+	c.MCs = mcs
+	c.RanksTotal = ranks
+	c.RowBufferEntries = rowBufs
+	c.L2PageInterleave = true
+	return c
+}
+
+// DualMC is the paper's "2 MCs, 8 ranks, 4 row buffers" configuration
+// used throughout Section 5.
+func DualMC() *Config { return Aggressive(2, 8, 4) }
+
+// QuadMC is the paper's "4 MCs, 16 ranks, 4 row buffers" configuration.
+func QuadMC() *Config { return Aggressive(4, 16, 4) }
+
+// WithMSHR derives a copy with the given L2 MSHR capacity multiplier,
+// implementation kind, and dynamic-resizing flag.
+func (c *Config) WithMSHR(mult int, kind MSHRKind, dynamic bool) *Config {
+	d := c.Clone()
+	d.L2MSHRMult = mult
+	d.L2MSHRKind = kind
+	d.DynamicMSHR = dynamic
+	suffix := fmt.Sprintf("%dxMSHR-%s", mult, kind)
+	if dynamic {
+		suffix += "-dyn"
+	}
+	d.Name = c.Name + "-" + suffix
+	return d
+}

@@ -1,0 +1,160 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	presets := map[string]*Config{
+		"2D":      Baseline2D(),
+		"3D":      Simple3D(),
+		"3D-wide": Wide3D(),
+		"3D-fast": Fast3D(),
+		"dualMC":  DualMC(),
+		"quadMC":  QuadMC(),
+	}
+	for name, c := range presets {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBaseline2DMatchesTable1(t *testing.T) {
+	c := Baseline2D()
+	if c.Cores != 4 || c.ROBSize != 96 || c.CommitWidth != 4 {
+		t.Fatalf("core params off: %+v", c)
+	}
+	if c.L2SizeKB != 12*1024 || c.L2Ways != 24 || c.L2Banks != 16 || c.L2MSHRs != 8 {
+		t.Fatalf("L2 params off: %+v", c)
+	}
+	if c.BusBytes != 8 || c.BusDivider != 4 || !c.BusDDR {
+		t.Fatalf("FSB params off: %+v", c)
+	}
+	if c.RanksTotal != 8 || c.BanksPerRank != 8 || c.MemoryGB != 8 {
+		t.Fatalf("memory params off: %+v", c)
+	}
+	if c.Timing.TRASns != 36 || c.Timing.TRCDns != 12 {
+		t.Fatalf("2D timing off: %+v", c.Timing)
+	}
+	if c.RefreshMS != 64 {
+		t.Fatalf("refresh = %d, want 64", c.RefreshMS)
+	}
+}
+
+func TestProgressionOfPresets(t *testing.T) {
+	d3 := Simple3D()
+	if d3.BusDivider != 1 {
+		t.Fatal("3D bus must run at core clock")
+	}
+	if d3.RefreshMS != 32 {
+		t.Fatal("stacked DRAM must refresh at 32ms")
+	}
+	if d3.BusBytes != 8 {
+		t.Fatal("3D keeps the 64-bit bus")
+	}
+	w := Wide3D()
+	if w.BusBytes != 64 {
+		t.Fatal("3D-wide must move full lines")
+	}
+	f := Fast3D()
+	if f.Timing.TRASns != 24.3 {
+		t.Fatal("3D-fast must use true-3D timing")
+	}
+	if f.MCs != 1 || f.RanksTotal != 8 {
+		t.Fatal("3D-fast keeps 1 MC / 8 ranks")
+	}
+}
+
+func TestAggressivePresets(t *testing.T) {
+	q := QuadMC()
+	if q.MCs != 4 || q.RanksTotal != 16 || q.RowBufferEntries != 4 {
+		t.Fatalf("QuadMC params: %+v", q)
+	}
+	if !q.L2PageInterleave {
+		t.Fatal("aggressive orgs must use page-aligned L2 interleaving")
+	}
+	if q.RanksPerMC() != 4 {
+		t.Fatalf("RanksPerMC = %d, want 4", q.RanksPerMC())
+	}
+	if q.MRQPerMC() != 8 {
+		t.Fatalf("MRQPerMC = %d, want 8 (constant 32 aggregate)", q.MRQPerMC())
+	}
+	d := DualMC()
+	if d.MCs != 2 || d.RanksTotal != 8 || d.MRQPerMC() != 16 {
+		t.Fatalf("DualMC params: %+v", d)
+	}
+}
+
+func TestWithMSHR(t *testing.T) {
+	base := QuadMC()
+	c := base.WithMSHR(4, MSHRVBF, true)
+	if c.L2TotalMSHRs() != 32 {
+		t.Fatalf("L2TotalMSHRs = %d, want 32", c.L2TotalMSHRs())
+	}
+	if c.L2MSHRKind != MSHRVBF || !c.DynamicMSHR {
+		t.Fatalf("MSHR knobs not applied: %+v", c)
+	}
+	if base.L2MSHRMult != 1 || base.DynamicMSHR {
+		t.Fatal("WithMSHR mutated the receiver")
+	}
+	if !strings.Contains(c.Name, "vbf") || !strings.Contains(c.Name, "dyn") {
+		t.Fatalf("name %q missing MSHR suffix", c.Name)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.CPUMHz = 0 },
+		func(c *Config) { c.LineBytes = 60 },
+		func(c *Config) { c.L1MSHRs = 0 },
+		func(c *Config) { c.L2Banks = 0 },
+		func(c *Config) { c.L2ExtraKB = -1 },
+		func(c *Config) { c.BusDivider = 0 },
+		func(c *Config) { c.MRQTotal = 0 },
+		func(c *Config) { c.RanksTotal = 7; c.MCs = 2 },
+		func(c *Config) { c.BanksPerRank = 0 },
+		func(c *Config) { c.PageBytes = 1000 },
+		func(c *Config) { c.RowBufferEntries = 0 },
+		func(c *Config) { c.L2MSHRMult = 0 },
+		func(c *Config) { c.MemoryGB = 0 },
+		func(c *Config) { c.L2Banks = 6; c.MCs = 4 },
+	}
+	for i, mutate := range mutations {
+		c := QuadMC()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d produced a config that still validates", i)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := Fast3D()
+	b := a.Clone()
+	b.MCs = 4
+	b.RanksTotal = 16
+	if a.MCs != 1 {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestMSHRKindString(t *testing.T) {
+	if MSHRIdealCAM.String() != "ideal-cam" || MSHRLinearProbe.String() != "linear-probe" || MSHRVBF.String() != "vbf" {
+		t.Fatal("MSHRKind strings wrong")
+	}
+	if MSHRKind(42).String() != "mshrkind(42)" {
+		t.Fatal("unknown MSHRKind string wrong")
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Cores", "3.333 GHz", "12MB", "96 entries", "tRAS=36ns", "tRAS=24.3ns", "64ms off-chip, 32ms on-stack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1 renders the baseline processor parameters in the shape of the
+// paper's Table 1, for the cmd/experiments "table1" target.
+func Table1() string {
+	c := Baseline2D()
+	t3d := TimingTrue3D()
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "%-24s %s\n", k, v) }
+	row("Cores", fmt.Sprint(c.Cores))
+	row("Clock Speed", fmt.Sprintf("%.3f GHz", c.CPUMHz/1000))
+	row("Dispatch Width", fmt.Sprintf("%d uops/cycle", c.DispatchWidth))
+	row("ROB Size", fmt.Sprintf("%d entries", c.ROBSize))
+	row("Commit Width", fmt.Sprintf("%d uops/cycle", c.CommitWidth))
+	row("Ld/St Exec", fmt.Sprintf("%d Load, %d Store", c.LoadPorts, c.StorePorts))
+	row("Mispred. Penalty", fmt.Sprintf("%d stages min.", c.MispredictPenalty))
+	row("IL1/DL1", fmt.Sprintf("%dKB, %d-way, %d-byte line, %d-cycle, %d MSHR",
+		c.L1SizeKB, c.L1Ways, c.LineBytes, c.L1Latency, c.L1MSHRs))
+	row("Prefetchers", "Nextline (IL1/DL1), IP-based Stride (DL1)")
+	row("DL2", fmt.Sprintf("%dMB, %d-way, %d-byte line, %d banks, %d-cycle, %d MSHR",
+		c.L2SizeKB/1024, c.L2Ways, c.LineBytes, c.L2Banks, c.L2Latency, c.L2MSHRs))
+	row("FSB", fmt.Sprintf("%d-bit, %.1f MHz (DDR=%v)", c.BusBytes*8, c.CPUMHz/float64(c.BusDivider), c.BusDDR))
+	row("Memory (2D)", fmt.Sprintf("%dGB, %d ranks, %d banks; tRAS=%.0fns, tRCD/tCAS/tWR/tRP=%.0fns",
+		c.MemoryGB, c.RanksTotal, c.BanksPerRank, c.Timing.TRASns, c.Timing.TRCDns))
+	row("Memory (true-3D)", fmt.Sprintf("tRAS=%.1fns, tRCD/tCAS/tWR/tRP=%.1fns", t3d.TRASns, t3d.TRCDns))
+	row("Refresh", fmt.Sprintf("%dms off-chip, %dms on-stack", c.RefreshMS, Simple3D().RefreshMS))
+	return b.String()
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/stats"
+	"stackedsim/internal/workload"
+)
+
+// Runner executes and memoizes simulation runs for the experiment
+// harness. Results are keyed by (config name, mix), so configurations
+// compared within one harness invocation must carry distinct names
+// (the config constructors guarantee this).
+type Runner struct {
+	// Warmup/Measure override the config's window when positive.
+	Warmup  int64
+	Measure int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	memo map[string]Metrics
+}
+
+// NewRunner returns a Runner with the given window override.
+func NewRunner(warmup, measure int64) *Runner {
+	return &Runner{Warmup: warmup, Measure: measure, memo: map[string]Metrics{}}
+}
+
+func (r *Runner) apply(cfg *config.Config) *config.Config {
+	c := cfg.Clone()
+	if r.Warmup > 0 {
+		c.WarmupCycles = r.Warmup
+	}
+	if r.Measure > 0 {
+		c.MeasureCycles = r.Measure
+	}
+	return c
+}
+
+// MixMetrics runs (or recalls) the given mix under cfg.
+func (r *Runner) MixMetrics(cfg *config.Config, mix string) (Metrics, error) {
+	if r.memo == nil {
+		r.memo = map[string]Metrics{}
+	}
+	key := cfg.Name + "\x00" + mix
+	if m, ok := r.memo[key]; ok {
+		return m, nil
+	}
+	m, err := RunMix(r.apply(cfg), mix)
+	if err != nil {
+		return Metrics{}, err
+	}
+	r.memo[key] = m
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "ran %-28s %-4s HMIPC=%.4f\n", cfg.Name, mix, m.HMIPC)
+	}
+	return m, nil
+}
+
+// Speedup reports cfg's HMIPC on mix relative to base's.
+func (r *Runner) Speedup(base, cfg *config.Config, mix string) (float64, error) {
+	b, err := r.MixMetrics(base, mix)
+	if err != nil {
+		return 0, err
+	}
+	m, err := r.MixMetrics(cfg, mix)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Speedup(b.HMIPC, m.HMIPC), nil
+}
+
+// GMSpeedup reports the geometric-mean speedup of cfg over base across
+// the given mixes.
+func (r *Runner) GMSpeedup(base, cfg *config.Config, mixes []string) (float64, error) {
+	var sp []float64
+	for _, mix := range mixes {
+		s, err := r.Speedup(base, cfg, mix)
+		if err != nil {
+			return 0, err
+		}
+		sp = append(sp, s)
+	}
+	return stats.GeoMean(sp), nil
+}
+
+// HighMixes returns the H and VH mix names (the paper's primary metric
+// population).
+func HighMixes() []string {
+	var names []string
+	for _, m := range workload.Mixes {
+		if m.Group == "H" || m.Group == "VH" {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
+
+// AllMixes returns every mix name.
+func AllMixes() []string { return workload.MixNames() }
+
+// Figure is a generic table of experiment results.
+type Figure struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []FigureRow
+	Notes   string
+}
+
+// FigureRow is one labeled row of values.
+type FigureRow struct {
+	Label  string
+	Values []float64
+}
+
+// Render formats the figure as text.
+func (f *Figure) Render(format string) string {
+	t := stats.NewTable(append([]string{f.ID}, f.Columns...)...)
+	for _, row := range f.Rows {
+		t.AddFloats(row.Label, format, row.Values...)
+	}
+	s := f.Title + "\n" + t.String()
+	if f.Notes != "" {
+		s += f.Notes + "\n"
+	}
+	return s
+}
+
+// Figure4 reproduces the Section 3 comparison: speedups of the simple
+// 3D-stacked organizations (3D, 3D-wide, 3D-fast) over off-chip 2D
+// memory, per mix plus GM(H,VH) and GM(all).
+func (r *Runner) Figure4() (*Figure, error) {
+	base := config.Baseline2D()
+	configs := []*config.Config{base, config.Simple3D(), config.Wide3D(), config.Fast3D()}
+	f := &Figure{
+		ID:    "Fig4",
+		Title: "Figure 4: speedup of simple 3D-stacked memories over off-chip 2D",
+	}
+	for _, c := range configs {
+		f.Columns = append(f.Columns, c.Name)
+	}
+	for _, mix := range AllMixes() {
+		row := FigureRow{Label: mix}
+		for _, c := range configs {
+			s, err := r.Speedup(base, c, mix)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, s)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	for _, gm := range []struct {
+		label string
+		mixes []string
+	}{{"GM(H,VH)", HighMixes()}, {"GM(all)", AllMixes()}} {
+		row := FigureRow{Label: gm.label}
+		for _, c := range configs {
+			s, err := r.GMSpeedup(base, c, gm.mixes)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, s)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure6a reproduces the rank/memory-controller sweep: speedup over
+// 3D-fast for {1,2,4} MCs x {8,16} ranks (single-entry row buffers),
+// plus spending the same transistor budget on +512KB / +1MB of L2.
+func (r *Runner) Figure6a() (*Figure, error) {
+	base := config.Fast3D()
+	f := &Figure{
+		ID:      "Fig6a",
+		Title:   "Figure 6a: speedup over 3D-fast; rows = organization, cols = GM groups",
+		Columns: []string{"GM(H,VH)", "GM(all)"},
+	}
+	var variants []*config.Config
+	for _, ranks := range []int{8, 16} {
+		for _, mcs := range []int{1, 2, 4} {
+			variants = append(variants, config.Aggressive(mcs, ranks, 1))
+		}
+	}
+	for _, extraKB := range []int{512, 1024} {
+		c := base.Clone()
+		c.L2ExtraKB = extraKB
+		c.Name = fmt.Sprintf("3D-fast+%dKB-L2", extraKB)
+		variants = append(variants, c)
+	}
+	for _, c := range variants {
+		row := FigureRow{Label: c.Name}
+		for _, mixes := range [][]string{HighMixes(), AllMixes()} {
+			s, err := r.GMSpeedup(base, c, mixes)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, s)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure6b reproduces the row-buffer-cache sweep: 1-4 entries per bank
+// on the 2MC/8-rank and 4MC/16-rank organizations, speedup over 3D-fast.
+func (r *Runner) Figure6b() (*Figure, error) {
+	base := config.Fast3D()
+	f := &Figure{
+		ID:      "Fig6b",
+		Title:   "Figure 6b: row-buffer cache entries; speedup over 3D-fast",
+		Columns: []string{"1RB", "2RBs", "3RBs", "4RBs"},
+	}
+	for _, org := range []struct{ mcs, ranks int }{{2, 8}, {4, 16}} {
+		rowH := FigureRow{Label: fmt.Sprintf("%dMC/%dR GM(H,VH)", org.mcs, org.ranks)}
+		rowA := FigureRow{Label: fmt.Sprintf("%dMC/%dR GM(all)", org.mcs, org.ranks)}
+		for rb := 1; rb <= 4; rb++ {
+			c := config.Aggressive(org.mcs, org.ranks, rb)
+			sH, err := r.GMSpeedup(base, c, HighMixes())
+			if err != nil {
+				return nil, err
+			}
+			sA, err := r.GMSpeedup(base, c, AllMixes())
+			if err != nil {
+				return nil, err
+			}
+			rowH.Values = append(rowH.Values, sH)
+			rowA.Values = append(rowA.Values, sA)
+		}
+		f.Rows = append(f.Rows, rowH, rowA)
+	}
+	return f, nil
+}
+
+// mshrFigure runs an MSHR-variant comparison against base (percentage
+// improvement per mix plus GM rows).
+func (r *Runner) mshrFigure(id, title string, base *config.Config, variants []*config.Config) (*Figure, error) {
+	f := &Figure{ID: id, Title: title}
+	for _, c := range variants {
+		f.Columns = append(f.Columns, c.Name[len(base.Name)+1:])
+	}
+	for _, mix := range append(AllMixes(), "GM(H,VH)", "GM(all)") {
+		row := FigureRow{Label: mix}
+		for _, c := range variants {
+			var s float64
+			var err error
+			switch mix {
+			case "GM(H,VH)":
+				s, err = r.GMSpeedup(base, c, HighMixes())
+			case "GM(all)":
+				s, err = r.GMSpeedup(base, c, AllMixes())
+			default:
+				s, err = r.Speedup(base, c, mix)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, (s-1)*100)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.Notes = "(values are % performance improvement over the baseline MSHR size)"
+	return f, nil
+}
+
+// Figure7 reproduces the MSHR capacity sweep (2x/4x/8x/dynamic) for the
+// dual-MC (a) and quad-MC (b) organizations with 4-entry row buffers.
+func (r *Runner) Figure7(quad bool) (*Figure, error) {
+	base := config.DualMC()
+	id, name := "Fig7a", "dual-MC/8-rank"
+	if quad {
+		base = config.QuadMC()
+		id, name = "Fig7b", "quad-MC/16-rank"
+	}
+	variants := []*config.Config{
+		base.WithMSHR(2, config.MSHRIdealCAM, false),
+		base.WithMSHR(4, config.MSHRIdealCAM, false),
+		base.WithMSHR(8, config.MSHRIdealCAM, false),
+		base.WithMSHR(8, config.MSHRIdealCAM, true),
+	}
+	return r.mshrFigure(id, fmt.Sprintf("Figure 7%s: L2 MSHR capacity scaling on %s",
+		map[bool]string{false: "a", true: "b"}[quad], name), base, variants)
+}
+
+// Figure9 reproduces the scalable-MHA comparison: ideal 8x CAM vs the
+// VBF-based direct-mapped MSHR vs dynamic resizing vs both (V+D).
+func (r *Runner) Figure9(quad bool) (*Figure, error) {
+	base := config.DualMC()
+	id, name := "Fig9a", "dual-MC/8-rank"
+	if quad {
+		base = config.QuadMC()
+		id, name = "Fig9b", "quad-MC/16-rank"
+	}
+	variants := []*config.Config{
+		base.WithMSHR(8, config.MSHRIdealCAM, false), // ideal 8xMSHR
+		base.WithMSHR(8, config.MSHRVBF, false),      // VBF
+		base.WithMSHR(8, config.MSHRIdealCAM, true),  // Dynamic
+		base.WithMSHR(8, config.MSHRVBF, true),       // V+D
+	}
+	return r.mshrFigure(id, fmt.Sprintf("Figure 9%s: scalable L2 MHA on %s",
+		map[bool]string{false: "a", true: "b"}[quad], name), base, variants)
+}
+
+// Table2a reproduces the per-benchmark MPKI column: each benchmark runs
+// alone on a single core with a 6MB L2 (the paper's selection setup).
+func (r *Runner) Table2a() (*Figure, error) {
+	f := &Figure{
+		ID:      "Table2a",
+		Title:   "Table 2a: stand-alone L2 MPKI (6MB L2, single core)",
+		Columns: []string{"paper MPKI", "measured MPKI"},
+	}
+	for _, spec := range workload.Specs {
+		cfg := config.Baseline2D()
+		cfg.Cores = 1
+		cfg.L2SizeKB = 6 * 1024
+		cfg.Name = "2D-1core-6MB"
+		m, err := RunSingle(r.apply(cfg), spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, FigureRow{
+			Label:  spec.Name,
+			Values: []float64{spec.PaperMPKI, m.MPKI[0]},
+		})
+	}
+	f.Notes = "(measured values are per kilo-muop over the scaled-down window)"
+	return f, nil
+}
+
+// Table2b reproduces the per-mix baseline HMIPC column on the 2D system.
+func (r *Runner) Table2b() (*Figure, error) {
+	f := &Figure{
+		ID:      "Table2b",
+		Title:   "Table 2b: baseline (2D) harmonic-mean IPC per mix",
+		Columns: []string{"paper HMIPC", "measured HMIPC"},
+	}
+	base := config.Baseline2D()
+	for _, mix := range workload.Mixes {
+		m, err := r.MixMetrics(base, mix.Name)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, FigureRow{
+			Label:  mix.Name,
+			Values: []float64{mix.PaperHMIPC, m.HMIPC},
+		})
+	}
+	return f, nil
+}
+
+// VBFProbes reproduces the Section 5.2 probe statistics: average MSHR
+// probes per access (including the mandatory first access) on the H/VH
+// mixes with the largest (8x) VBF MSHR.
+func (r *Runner) VBFProbes() (*Figure, error) {
+	f := &Figure{
+		ID:      "VBF",
+		Title:   "Section 5.2: VBF probes per MSHR access (paper: 2.31 dual-MC, 2.21 quad-MC)",
+		Columns: []string{"probes/access"},
+	}
+	for _, quad := range []bool{false, true} {
+		base := config.DualMC()
+		label := "dual-MC"
+		if quad {
+			base = config.QuadMC()
+			label = "quad-MC"
+		}
+		cfg := base.WithMSHR(8, config.MSHRVBF, false)
+		var probes []float64
+		for _, mix := range HighMixes() {
+			m, err := r.MixMetrics(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			probes = append(probes, m.ProbesPerAccess)
+		}
+		f.Rows = append(f.Rows, FigureRow{Label: label, Values: []float64{stats.Mean(probes)}})
+	}
+	return f, nil
+}
+
+// EnergyFigure quantifies the Section 4.2 power argument: dynamic DRAM
+// energy per access as the row-buffer cache grows from 1 to 4 entries
+// per bank (each hit avoids a full array activation), on the quad-MC
+// organization over the H/VH mixes.
+func (r *Runner) EnergyFigure() (*Figure, error) {
+	f := &Figure{
+		ID:      "Energy",
+		Title:   "Section 4.2: dynamic DRAM energy per access vs row-buffer entries (quad-MC)",
+		Columns: []string{"nJ/access", "row-hit rate"},
+	}
+	for rb := 1; rb <= 4; rb++ {
+		cfg := config.Aggressive(4, 16, rb)
+		var nj, hit []float64
+		for _, mix := range HighMixes() {
+			m, err := r.MixMetrics(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			nj = append(nj, m.Energy.PerAccessNJ())
+			hit = append(hit, m.RowHitRate)
+		}
+		f.Rows = append(f.Rows, FigureRow{
+			Label:  fmt.Sprintf("%d row buffer(s)", rb),
+			Values: []float64{stats.Mean(nj), stats.Mean(hit)},
+		})
+	}
+	f.Notes = "(every row-buffer-cache hit avoids a full array activate+precharge)"
+	return f, nil
+}
+
+// CSV renders the figure as comma-separated values for spreadsheet
+// import (EXPERIMENTS.md is generated from these).
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.ID)
+	for _, c := range f.Columns {
+		b.WriteString(",")
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteString("\n")
+	for _, row := range f.Rows {
+		b.WriteString(csvEscape(row.Label))
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stackedsim/internal/config"
+)
+
+// tinyRunner exercises the figure generators end to end with windows too
+// small for meaningful numbers but large enough for every code path.
+func tinyRunner() *Runner {
+	return NewRunner(5_000, 15_000)
+}
+
+func TestFigure4Generates(t *testing.T) {
+	f, err := tinyRunner().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Columns) != 4 || len(f.Rows) != 14 {
+		t.Fatalf("fig4 shape %dx%d", len(f.Columns), len(f.Rows))
+	}
+	// The 2D column is the baseline: all ones.
+	for _, row := range f.Rows {
+		if row.Values[0] != 1 {
+			t.Fatalf("row %s baseline = %v", row.Label, row.Values[0])
+		}
+	}
+	if !strings.Contains(f.Render("%.2f"), "GM(H,VH)") {
+		t.Fatal("render missing GM row")
+	}
+}
+
+func TestFigure6aGenerates(t *testing.T) {
+	f, err := tinyRunner().Figure6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 8 {
+		t.Fatalf("fig6a rows = %d", len(f.Rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range f.Rows {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"3D-4mc-16rank-1rb", "3D-fast+512KB-L2"} {
+		if !labels[want] {
+			t.Fatalf("missing row %q", want)
+		}
+	}
+}
+
+func TestFigure6bGenerates(t *testing.T) {
+	f, err := tinyRunner().Figure6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 || len(f.Columns) != 4 {
+		t.Fatalf("fig6b shape %dx%d", len(f.Columns), len(f.Rows))
+	}
+}
+
+func TestFigure7And9Generate(t *testing.T) {
+	r := tinyRunner()
+	for _, quad := range []bool{false, true} {
+		f7, err := r.Figure7(quad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f7.Rows) != 14 || len(f7.Columns) != 4 {
+			t.Fatalf("fig7 shape %dx%d", len(f7.Columns), len(f7.Rows))
+		}
+		f9, err := r.Figure9(quad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f9.Rows) != 14 || len(f9.Columns) != 4 {
+			t.Fatalf("fig9 shape %dx%d", len(f9.Columns), len(f9.Rows))
+		}
+		// Column labels come from config names with the base prefix
+		// stripped.
+		if f9.Columns[1] != "8xMSHR-vbf" {
+			t.Fatalf("fig9 column = %q", f9.Columns[1])
+		}
+	}
+}
+
+func TestTable2aGenerates(t *testing.T) {
+	f, err := tinyRunner().Table2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 28 {
+		t.Fatalf("table2a rows = %d", len(f.Rows))
+	}
+	for _, row := range f.Rows {
+		if row.Values[0] <= 0 {
+			t.Fatalf("%s: paper MPKI column empty", row.Label)
+		}
+	}
+}
+
+func TestTable2bGenerates(t *testing.T) {
+	f, err := tinyRunner().Table2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 12 {
+		t.Fatalf("table2b rows = %d", len(f.Rows))
+	}
+}
+
+func TestVBFProbesGenerates(t *testing.T) {
+	f, err := tinyRunner().VBFProbes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("probes rows = %d", len(f.Rows))
+	}
+	for _, row := range f.Rows {
+		if row.Values[0] < 1 {
+			t.Fatalf("%s probes/access = %v", row.Label, row.Values[0])
+		}
+	}
+}
+
+func TestEnergyFigureGenerates(t *testing.T) {
+	f, err := tinyRunner().EnergyFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 || len(f.Columns) != 2 {
+		t.Fatalf("energy shape %dx%d", len(f.Columns), len(f.Rows))
+	}
+	for _, row := range f.Rows {
+		if row.Values[0] <= 0 {
+			t.Fatalf("%s energy = %v", row.Label, row.Values[0])
+		}
+	}
+}
+
+func TestAblationsGenerate(t *testing.T) {
+	f, err := tinyRunner().Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) < 13 {
+		t.Fatalf("ablations rows = %d", len(f.Rows))
+	}
+}
+
+func TestMSHRBankingFigureGenerates(t *testing.T) {
+	f, err := tinyRunner().MSHRBankingFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 3 || len(f.Columns) != 2 {
+		t.Fatalf("banking shape %dx%d", len(f.Columns), len(f.Rows))
+	}
+	// 1 MC: banked and unified are the same machine.
+	if f.Rows[0].Values[0] != f.Rows[0].Values[1] {
+		t.Fatalf("1MC banked (%v) != unified (%v)", f.Rows[0].Values[0], f.Rows[0].Values[1])
+	}
+}
+
+func TestRunnerProgressWriter(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	r.Progress = &buf
+	cfg := config.Fast3D()
+	if _, err := r.MixMetrics(cfg, "M1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "M1") {
+		t.Fatalf("progress output %q missing mix name", buf.String())
+	}
+	// Memoized second call must not print again.
+	n := buf.Len()
+	if _, err := r.MixMetrics(cfg, "M1"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("memoized run printed progress")
+	}
+}
+
+func TestStabilityFigureGenerates(t *testing.T) {
+	// The window sweep uses its built-in lengths (up to 800k cycles),
+	// so this test takes a few seconds; skip it in -short runs.
+	if testing.Short() {
+		t.Skip("stability figure sweeps real windows")
+	}
+	f, err := NewRunner(10_000, 50_000).StabilityFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 {
+		t.Fatalf("stability rows = %d", len(f.Rows))
+	}
+	cv := f.Rows[3]
+	for i, v := range cv.Values {
+		if v < 0 || v > 50 {
+			t.Fatalf("CV[%d] = %v%%, implausible", i, v)
+		}
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := coefficientOfVariation([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("CV of constants = %v", got)
+	}
+	if got := coefficientOfVariation(nil); got != 0 {
+		t.Fatalf("CV of nil = %v", got)
+	}
+	got := coefficientOfVariation([]float64{1, 3})
+	// mean 2, var ((1)^2+(1)^2)/1 = 2, sd = 1.414..., cv = 0.707...
+	if got < 0.70 || got > 0.71 {
+		t.Fatalf("CV = %v, want ~0.707", got)
+	}
+}

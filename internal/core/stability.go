@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/stats"
+)
+
+// StabilityFigure validates the scaled-down methodology itself: HMIPC
+// for representative mixes across measurement-window lengths and seeds.
+// A reproduction whose conclusions depended on the window or the seed
+// would be worthless; this figure quantifies both sensitivities so
+// EXPERIMENTS.md can bound them.
+func (r *Runner) StabilityFigure() (*Figure, error) {
+	f := &Figure{
+		ID:      "Stability",
+		Title:   "Methodology check: HMIPC vs window length and seed (3D-fast)",
+		Columns: []string{"VH1", "H1", "M1"},
+	}
+	mixes := []string{"VH1", "H1", "M1"}
+
+	// Window sweep at the default seed. Fresh sub-runners are keyed by
+	// window so the memo cannot mix lengths.
+	for _, win := range []int64{200_000, 400_000, 800_000} {
+		sub := NewRunner(win/4, win)
+		sub.Progress = r.Progress
+		row := FigureRow{Label: fmt.Sprintf("window %dk cycles", win/1000)}
+		for _, mix := range mixes {
+			m, err := sub.MixMetrics(config.Fast3D(), mix)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, m.HMIPC)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+
+	// Seed sweep at the runner's window: report the coefficient of
+	// variation across three seeds.
+	perMix := make(map[string][]float64)
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := config.Fast3D()
+		cfg.Seed = seed
+		cfg.Name = fmt.Sprintf("%s-seed%d", cfg.Name, seed)
+		for _, mix := range mixes {
+			m, err := r.MixMetrics(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			perMix[mix] = append(perMix[mix], m.HMIPC)
+		}
+	}
+	row := FigureRow{Label: "seed CV (%)"}
+	for _, mix := range mixes {
+		row.Values = append(row.Values, 100*coefficientOfVariation(perMix[mix]))
+	}
+	f.Rows = append(f.Rows, row)
+	f.Notes = "(CV = stddev/mean over seeds 1-3; windows use the default seed)"
+	return f, nil
+}
+
+// coefficientOfVariation returns stddev/mean (0 for degenerate input).
+func coefficientOfVariation(xs []float64) float64 {
+	mean := stats.Mean(xs)
+	if mean == 0 || len(xs) < 2 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := ss / float64(len(xs)-1)
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance) / mean
+}

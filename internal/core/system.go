@@ -1,0 +1,366 @@
+// Package core assembles the complete simulated machine — cores, L1s,
+// shared banked L2, MSHR banks, memory controllers and the (optionally
+// 3D-stacked) DRAM — from a config.Config, and provides the experiment
+// runner used by the paper-reproduction harness.
+package core
+
+import (
+	"fmt"
+
+	"stackedsim/internal/bus"
+	"stackedsim/internal/cache"
+	"stackedsim/internal/config"
+	"stackedsim/internal/cpu"
+	"stackedsim/internal/dram"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/memctrl"
+	"stackedsim/internal/mshr"
+	"stackedsim/internal/power"
+	"stackedsim/internal/sim"
+	"stackedsim/internal/stats"
+	"stackedsim/internal/tlb"
+	"stackedsim/internal/workload"
+)
+
+// System is one fully wired machine executing a multi-programmed mix.
+type System struct {
+	Cfg    *config.Config
+	Engine *sim.Engine
+
+	Cores []*cpu.Core
+	L1s   []*cache.L1
+	IL1s  []*cache.L1
+	L2    *cache.L2
+	MCs   []*memctrl.Controller
+	Buses []*bus.Bus
+	Pages *mem.PageTable
+	TLBs  []*tlb.TLB
+	ITLBs []*tlb.TLB
+	AMap  mem.AddrMap
+
+	Resizer *mshr.Resizer
+	// Sources are the per-core μop streams; Labels name them (benchmark
+	// names for generator-driven runs, file names for trace replays).
+	Sources []cpu.UOpSource
+	Labels  []string
+}
+
+// NewSystem builds a machine running the named benchmarks, one per core.
+// Fewer benchmarks than cores leaves the remaining cores idle (used for
+// the single-threaded Table 2a runs).
+func NewSystem(cfg *config.Config, benchmarks []string) (*System, error) {
+	sources := make([]cpu.UOpSource, len(benchmarks))
+	for i, name := range benchmarks {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown benchmark %q", name)
+		}
+		sources[i] = workload.NewGenerator(spec, cfg.Seed+int64(i)*7919)
+	}
+	return NewSystemFromSources(cfg, sources, benchmarks)
+}
+
+// NewSystemFromSources builds a machine whose cores execute arbitrary
+// μop sources — e.g. trace.Reader replays recorded with cmd/tracegen —
+// labeled for reporting.
+func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []string) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 || len(sources) > cfg.Cores {
+		return nil, fmt.Errorf("core: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+	if len(labels) != len(sources) {
+		return nil, fmt.Errorf("core: %d labels for %d sources", len(labels), len(sources))
+	}
+	for i, src := range sources {
+		if src == nil {
+			return nil, fmt.Errorf("core: source %d is nil", i)
+		}
+	}
+	s := &System{
+		Cfg:    cfg,
+		Engine: sim.NewEngine(),
+		Pages:  mem.NewPageTable(uint64(cfg.MemoryGB)<<30, uint64(cfg.PageBytes)),
+	}
+	s.AMap = mem.AddrMap{
+		LineBytes:  cfg.LineBytes,
+		PageBytes:  cfg.PageBytes,
+		MCs:        cfg.MCs,
+		RanksPerMC: cfg.RanksPerMC(),
+		Banks:      cfg.BanksPerRank,
+	}
+	if err := s.AMap.Validate(); err != nil {
+		return nil, err
+	}
+
+	// DRAM + controllers.
+	timing := dram.TimingInCycles(cfg.Timing, cfg.CPUMHz)
+	for m := 0; m < cfg.MCs; m++ {
+		ranks := make([]*dram.Rank, cfg.RanksPerMC())
+		for r := range ranks {
+			ranks[r] = dram.NewRank(timing, cfg.BanksPerRank, cfg.RowBufferEntries, cfg.RefreshMS, cfg.CPUMHz)
+			if cfg.SmartRefresh {
+				rowsPerBank := (int64(cfg.MemoryGB) << 30) / int64(cfg.RanksTotal*cfg.BanksPerRank*cfg.PageBytes)
+				ranks[r].EnableSmartRefresh(rowsPerBank)
+			}
+		}
+		b := bus.New(cfg.BusBytes, cfg.BusDivider, cfg.BusDDR)
+		s.Buses = append(s.Buses, b)
+		s.MCs = append(s.MCs, memctrl.New(memctrl.Params{
+			ID:                m,
+			AMap:              s.AMap,
+			Ranks:             ranks,
+			QueueCap:          cfg.MRQPerMC(),
+			DataBus:           b,
+			Divider:           sim.NewDivider(cfg.BusDivider),
+			FRFCFS:            cfg.SchedFRFCFS,
+			LineBytes:         cfg.LineBytes,
+			CriticalWordFirst: cfg.CriticalWordFirst,
+			WordBytes:         8,
+			Respond:           func(r *mem.Request, now sim.Cycle) { r.Complete(now) },
+		}))
+	}
+
+	// Shared L2 + MHA.
+	ids := &mem.IDSource{}
+	s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: s.MCs, IDs: ids})
+
+	// Cores with private L1s and their μop sources.
+	s.Sources = sources
+	s.Labels = append([]string(nil), labels...)
+	for c := 0; c < len(sources); c++ {
+		l1 := cache.NewL1(cache.L1Params{
+			Core:      c,
+			Array:     cache.NewArrayBySize(fmt.Sprintf("dl1.%d", c), cfg.L1SizeKB*1024, cfg.L1Ways, cfg.LineBytes),
+			Latency:   sim.Cycle(cfg.L1Latency),
+			LineBytes: cfg.LineBytes,
+			MSHRs:     cfg.L1MSHRs,
+			Below:     s.L2,
+			IDs:       ids,
+			Prefetch:  cfg.L1Prefetch,
+		})
+		s.L1s = append(s.L1s, l1)
+		il1 := cache.NewL1(cache.L1Params{
+			Core:      c,
+			Array:     cache.NewArrayBySize(fmt.Sprintf("il1.%d", c), cfg.L1SizeKB*1024, cfg.L1Ways, cfg.LineBytes),
+			Latency:   sim.Cycle(cfg.L1Latency),
+			LineBytes: cfg.LineBytes,
+			MSHRs:     cfg.L1MSHRs,
+			Below:     s.L2,
+			IDs:       ids,
+			Prefetch:  cfg.L1Prefetch, // Table 1: next-line on the IL1
+		})
+		s.IL1s = append(s.IL1s, il1)
+		dt := tlb.New(64, 4)
+		s.TLBs = append(s.TLBs, dt)
+		it := tlb.New(32, 4)
+		s.ITLBs = append(s.ITLBs, it)
+		s.Cores = append(s.Cores, cpu.New(cpu.Params{
+			ID:     c,
+			Cfg:    cfg,
+			L1:     l1,
+			DTLB:   dt,
+			IL1:    il1,
+			ITLB:   it,
+			Pages:  s.Pages,
+			Source: sources[c],
+		}))
+	}
+
+	// Dynamic MSHR capacity tuning (Section 5.1).
+	if cfg.DynamicMSHR {
+		progress := func() uint64 {
+			var n uint64
+			for _, c := range s.Cores {
+				n += c.Committed()
+			}
+			return n
+		}
+		s.Resizer = mshr.NewResizer(s.L2.MSHRBanks(), progress,
+			sim.Cycle(cfg.DynSampleCycles), sim.Cycle(cfg.DynEpochCycles))
+	}
+
+	// Tick order: cores issue first, then L1 retries, then the L2, then
+	// the controllers, then the tuner.
+	for _, c := range s.Cores {
+		s.Engine.Register(c)
+	}
+	for _, l1 := range s.L1s {
+		s.Engine.Register(l1)
+	}
+	for _, il1 := range s.IL1s {
+		s.Engine.Register(il1)
+	}
+	s.Engine.Register(s.L2)
+	for _, mc := range s.MCs {
+		s.Engine.Register(mc)
+	}
+	if s.Resizer != nil {
+		s.Engine.Register(sim.TickFunc(s.Resizer.Tick))
+	}
+	return s, nil
+}
+
+// ResetStats zeroes every component's statistics (end of warmup).
+func (s *System) ResetStats() {
+	for i := range s.Cores {
+		s.Cores[i].ResetStats()
+		s.L1s[i].ResetStats()
+		s.IL1s[i].ResetStats()
+		s.TLBs[i].ResetStats()
+		s.ITLBs[i].ResetStats()
+	}
+	s.L2.ResetStats()
+	for _, mc := range s.MCs {
+		mc.ResetStats()
+		for _, rank := range mc.Ranks() {
+			for _, bank := range rank.Banks {
+				bank.ResetStats()
+			}
+		}
+	}
+	for _, b := range s.Buses {
+		b.ResetStats()
+	}
+}
+
+// Metrics summarizes one measured run.
+type Metrics struct {
+	Config     string
+	Benchmarks []string
+	Cycles     uint64
+
+	IPC   []float64 // per core
+	HMIPC float64
+	MPKI  []float64 // per core, demand L2 misses per kilo-μop
+
+	L2MissRate      float64
+	RowHitRate      float64
+	BusUtilization  float64
+	ProbesPerAccess float64
+	MSHRFullStalls  uint64 // misses set aside on a full MSHR bank
+	DRAMReads       uint64
+	DRAMWrites      uint64
+
+	// Energy is the DRAM energy breakdown of the measured window
+	// (Section 4.2's power argument), using off-chip IO energies for
+	// the 2D organization and TSV energies for stacked ones.
+	Energy power.Breakdown
+
+	// RefreshSkipRate is the fraction of refresh commands smart refresh
+	// elided (0 unless config.SmartRefresh).
+	RefreshSkipRate float64
+}
+
+// Run executes warmup then the measured window and returns the metrics.
+func (s *System) Run() Metrics {
+	s.Engine.Run(sim.Cycle(s.Cfg.WarmupCycles))
+	s.ResetStats()
+	s.Engine.Run(sim.Cycle(s.Cfg.MeasureCycles))
+	return s.Collect()
+}
+
+// Collect gathers metrics for the elapsed measured window.
+func (s *System) Collect() Metrics {
+	m := Metrics{
+		Config: s.Cfg.Name,
+		Cycles: uint64(s.Cfg.MeasureCycles),
+	}
+	missesBy := s.L2.DemandMissesByCore()
+	for i, c := range s.Cores {
+		st := c.Stats()
+		m.Benchmarks = append(m.Benchmarks, s.Labels[i])
+		m.IPC = append(m.IPC, st.IPC())
+		if st.Committed > 0 {
+			m.MPKI = append(m.MPKI, 1000*float64(missesBy[i])/float64(st.Committed))
+		} else {
+			m.MPKI = append(m.MPKI, 0)
+		}
+	}
+	m.HMIPC = stats.HarmonicMean(m.IPC)
+	l2 := s.L2.Stats()
+	if l2.Accesses > 0 {
+		m.L2MissRate = float64(l2.Accesses-l2.Hits) / float64(l2.Accesses)
+	}
+	m.MSHRFullStalls = l2.MSHRStalls
+	var rowHits, dramAcc, busBusy uint64
+	for i, mc := range s.MCs {
+		st := mc.Stats()
+		rowHits += st.RowHits
+		dramAcc += st.Reads + st.Writes
+		m.DRAMReads += st.Reads
+		m.DRAMWrites += st.Writes
+		busBusy += s.Buses[i].Stats().BusyCycles
+	}
+	if dramAcc > 0 {
+		m.RowHitRate = float64(rowHits) / float64(dramAcc)
+	}
+	if s.Cfg.MeasureCycles > 0 {
+		m.BusUtilization = float64(busBusy) / float64(uint64(s.Cfg.MeasureCycles)*uint64(len(s.Buses)))
+	}
+	var act power.Activity
+	act.Ranks = s.Cfg.RanksTotal
+	for i, mc := range s.MCs {
+		st := mc.Stats()
+		act.ColumnReads += st.Reads
+		act.ColumnWrites += st.Writes
+		act.BytesMoved += s.Buses[i].Stats().Bytes
+		for _, rank := range mc.Ranks() {
+			for _, bank := range rank.Banks {
+				bs := bank.Stats()
+				act.Activates += bs.Activates
+				act.Refreshes += bs.Refreshes
+			}
+		}
+	}
+	params := power.Stacked3D()
+	if s.Cfg.BusDivider > 1 {
+		params = power.DDR2() // off-chip organization
+	}
+	m.Energy = power.Account(params, act, s.Cfg.MeasureCycles, s.Cfg.CPUMHz)
+	var skipped, issued uint64
+	for _, mc := range s.MCs {
+		for _, rank := range mc.Ranks() {
+			skipped += rank.Skipped
+			issued += rank.Issued
+		}
+	}
+	if skipped+issued > 0 {
+		m.RefreshSkipRate = float64(skipped) / float64(skipped+issued)
+	}
+
+	var probes, accesses uint64
+	for _, f := range s.L2.MSHRBanks() {
+		probes += f.Stats().Probes
+		accesses += f.Stats().Accesses
+	}
+	if accesses > 0 {
+		m.ProbesPerAccess = float64(probes) / float64(accesses)
+	}
+	return m
+}
+
+// RunMix builds and runs the named Table 2b mix under cfg.
+func RunMix(cfg *config.Config, mixName string) (Metrics, error) {
+	mix, ok := workload.MixByName(mixName)
+	if !ok {
+		return Metrics{}, fmt.Errorf("core: unknown mix %q", mixName)
+	}
+	sys, err := NewSystem(cfg, mix.Benchmarks[:])
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := sys.Run()
+	m.Config = cfg.Name
+	return m, nil
+}
+
+// RunSingle runs one benchmark alone on core 0 (Table 2a methodology).
+func RunSingle(cfg *config.Config, benchmark string) (Metrics, error) {
+	sys, err := NewSystem(cfg, []string{benchmark})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sys.Run(), nil
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/cpu"
+	"stackedsim/internal/trace"
+	"stackedsim/internal/workload"
+)
+
+// short shrinks a config's window for fast tests.
+func short(cfg *config.Config) *config.Config {
+	cfg.WarmupCycles = 50_000
+	cfg.MeasureCycles = 150_000
+	return cfg
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(config.Baseline2D(), nil); err == nil {
+		t.Fatal("no benchmarks accepted")
+	}
+	if _, err := NewSystem(config.Baseline2D(), []string{"a", "b", "c", "d", "e"}); err == nil {
+		t.Fatal("5 benchmarks on 4 cores accepted")
+	}
+	if _, err := NewSystem(config.Baseline2D(), []string{"nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	bad := config.Baseline2D()
+	bad.Cores = 0
+	if _, err := NewSystem(bad, []string{"mcf"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunMixProducesProgress(t *testing.T) {
+	m, err := RunMix(short(config.Fast3D()), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HMIPC <= 0 {
+		t.Fatalf("HMIPC = %v, want > 0", m.HMIPC)
+	}
+	for i, ipc := range m.IPC {
+		if ipc <= 0 {
+			t.Fatalf("core %d IPC = %v", i, ipc)
+		}
+	}
+	if m.DRAMReads == 0 {
+		t.Fatal("no DRAM reads on a VH mix")
+	}
+	if m.RowHitRate <= 0 || m.RowHitRate > 1 {
+		t.Fatalf("RowHitRate = %v", m.RowHitRate)
+	}
+	if len(m.Benchmarks) != 4 {
+		t.Fatalf("Benchmarks = %v", m.Benchmarks)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := RunMix(short(config.QuadMC()), "H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMix(short(config.QuadMC()), "H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HMIPC != b.HMIPC || a.DRAMReads != b.DRAMReads {
+		t.Fatalf("nondeterministic: %.6f/%d vs %.6f/%d", a.HMIPC, a.DRAMReads, b.HMIPC, b.DRAMReads)
+	}
+}
+
+func TestSeedChangesResult(t *testing.T) {
+	cfg := short(config.Fast3D())
+	a, _ := RunMix(cfg, "H2")
+	cfg2 := short(config.Fast3D())
+	cfg2.Seed = 99
+	b, _ := RunMix(cfg2, "H2")
+	if a.HMIPC == b.HMIPC && a.DRAMReads == b.DRAMReads {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestSection3Ordering checks the paper's headline progression on a
+// memory-intensive mix: 2D < 3D < 3D-wide < 3D-fast.
+func TestSection3Ordering(t *testing.T) {
+	hmipc := map[string]float64{}
+	for _, mk := range []func() *config.Config{config.Baseline2D, config.Simple3D, config.Wide3D, config.Fast3D} {
+		cfg := short(mk())
+		m, err := RunMix(cfg, "VH1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hmipc[cfg.Name] = m.HMIPC
+	}
+	if !(hmipc["2D"] < hmipc["3D"] && hmipc["3D"] < hmipc["3D-wide"] && hmipc["3D-wide"] < hmipc["3D-fast"]) {
+		t.Fatalf("Section 3 ordering violated: %v", hmipc)
+	}
+	// The paper reports 2.17x for 3D-fast over 2D; require at least a
+	// substantial speedup here.
+	if sp := hmipc["3D-fast"] / hmipc["2D"]; sp < 1.5 {
+		t.Fatalf("3D-fast speedup = %.2f, want >= 1.5", sp)
+	}
+}
+
+// TestAggressiveOrgBeats3DFast checks the Section 4 claim on a
+// bandwidth-hungry mix.
+func TestAggressiveOrgBeats3DFast(t *testing.T) {
+	base, err := RunMix(short(config.Fast3D()), "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := RunMix(short(config.QuadMC()), "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.HMIPC <= base.HMIPC {
+		t.Fatalf("quad-MC (%.4f) did not beat 3D-fast (%.4f)", quad.HMIPC, base.HMIPC)
+	}
+}
+
+// TestMSHRScalingHelps checks the Section 5 premise: more L2 MSHRs
+// improve a very-high-miss mix on the aggressive organization.
+func TestMSHRScalingHelps(t *testing.T) {
+	base := config.QuadMC()
+	small, err := RunMix(short(base.Clone()), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunMix(short(base.WithMSHR(8, config.MSHRIdealCAM, false)), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.HMIPC <= small.HMIPC {
+		t.Fatalf("8x MSHR (%.4f) did not beat 1x (%.4f)", big.HMIPC, small.HMIPC)
+	}
+	if big.MSHRFullStalls >= small.MSHRFullStalls {
+		t.Fatalf("8x MSHR stalls (%d) not below 1x (%d)", big.MSHRFullStalls, small.MSHRFullStalls)
+	}
+}
+
+// TestVBFCloseToIdealCAM checks the Figure 9 claim: the VBF-based MSHR
+// performs within a few percent of the ideal single-cycle CAM.
+func TestVBFCloseToIdealCAM(t *testing.T) {
+	base := config.DualMC()
+	cam, err := RunMix(short(base.WithMSHR(8, config.MSHRIdealCAM, false)), "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vbf, err := RunMix(short(base.WithMSHR(8, config.MSHRVBF, false)), "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := vbf.HMIPC / cam.HMIPC
+	if ratio < 0.85 || ratio > 1.1 {
+		t.Fatalf("VBF/CAM HMIPC ratio = %.3f, want near 1", ratio)
+	}
+	if vbf.ProbesPerAccess < 1 {
+		t.Fatalf("VBF probes/access = %.2f, want >= 1", vbf.ProbesPerAccess)
+	}
+	// The paper reports ~2.2-2.3 probes per access; allow a loose band.
+	if vbf.ProbesPerAccess > 6 {
+		t.Fatalf("VBF probes/access = %.2f, unexpectedly high", vbf.ProbesPerAccess)
+	}
+}
+
+func TestDynamicResizerEngages(t *testing.T) {
+	cfg := config.QuadMC().WithMSHR(8, config.MSHRVBF, true)
+	cfg.WarmupCycles = 10_000
+	cfg.MeasureCycles = 150_000
+	cfg.DynSampleCycles = 5_000
+	cfg.DynEpochCycles = 30_000
+	sys, err := NewSystem(cfg, []string{"S.all", "S.all", "S.all", "S.all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if sys.Resizer == nil {
+		t.Fatal("resizer not constructed")
+	}
+	if sys.Resizer.Switches == 0 {
+		t.Fatal("resizer never completed a training phase")
+	}
+}
+
+func TestRunSingleCollectsMPKI(t *testing.T) {
+	cfg := short(config.Baseline2D())
+	cfg.Cores = 1
+	cfg.L2SizeKB = 6 * 1024
+	m, err := RunSingle(cfg, "S.all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.MPKI) != 1 || m.MPKI[0] <= 50 {
+		t.Fatalf("S.all MPKI = %v, want large", m.MPKI)
+	}
+	low, err := RunSingle(cfg, "namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.MPKI[0] >= m.MPKI[0] {
+		t.Fatalf("namd MPKI (%.1f) not below S.all (%.1f)", low.MPKI[0], m.MPKI[0])
+	}
+}
+
+func TestRunMixUnknown(t *testing.T) {
+	if _, err := RunMix(config.Fast3D(), "nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(20_000, 50_000)
+	cfg := config.Fast3D()
+	a, err := r.MixMetrics(cfg, "M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.MixMetrics(cfg, "M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HMIPC != b.HMIPC {
+		t.Fatal("memo returned different result")
+	}
+	if s, err := r.Speedup(cfg, cfg, "M1"); err != nil || s != 1 {
+		t.Fatalf("self-speedup = %v, %v", s, err)
+	}
+}
+
+func TestHighMixes(t *testing.T) {
+	h := HighMixes()
+	if len(h) != 6 {
+		t.Fatalf("HighMixes = %v", h)
+	}
+	if len(AllMixes()) != 12 {
+		t.Fatal("AllMixes wrong")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{ID: "X", Title: "t", Columns: []string{"a"}, Rows: []FigureRow{{Label: "r", Values: []float64{1.5}}}, Notes: "n"}
+	out := f.Render("%.2f")
+	for _, want := range []string{"t", "a", "r", "1.50", "n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceReplayMatchesGenerator(t *testing.T) {
+	// Record enough μops to cover the window, then verify a replayed
+	// system produces the same result as the generator-driven one.
+	spec, _ := workload.ByName("libquantum")
+	cfg := short(config.Fast3D())
+	cfg.Cores = 1
+
+	var buf bytes.Buffer
+	if err := trace.Record(&buf, workload.NewGenerator(spec, cfg.Seed), 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewSystemFromSources(cfg, []cpu.UOpSource{reader}, []string{"libquantum-trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := replay.Run()
+
+	direct, err := RunSingle(cfg, "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.HMIPC != direct.HMIPC || replayed.DRAMReads != direct.DRAMReads {
+		t.Fatalf("replay %.5f/%d != direct %.5f/%d",
+			replayed.HMIPC, replayed.DRAMReads, direct.HMIPC, direct.DRAMReads)
+	}
+	if replayed.Benchmarks[0] != "libquantum-trace" {
+		t.Fatalf("label = %q", replayed.Benchmarks[0])
+	}
+}
+
+func TestNewSystemFromSourcesValidation(t *testing.T) {
+	cfg := config.Fast3D()
+	if _, err := NewSystemFromSources(cfg, nil, nil); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	if _, err := NewSystemFromSources(cfg, []cpu.UOpSource{nil}, []string{"x"}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	spec, _ := workload.ByName("gzip")
+	g := workload.NewGenerator(spec, 1)
+	if _, err := NewSystemFromSources(cfg, []cpu.UOpSource{g}, nil); err == nil {
+		t.Fatal("label/source mismatch accepted")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m, err := RunMix(short(config.QuadMC()), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Energy.TotalUJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if m.Energy.PerAccessNJ() <= 0 {
+		t.Fatal("no per-access energy")
+	}
+	// More row-buffer entries must cut activation energy per access.
+	one, err := RunMix(short(config.Aggressive(4, 16, 1)), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Energy.PerAccessNJ() >= one.Energy.PerAccessNJ() {
+		t.Fatalf("4RB energy/access (%.2f) not below 1RB (%.2f)",
+			m.Energy.PerAccessNJ(), one.Energy.PerAccessNJ())
+	}
+}
+
+func TestCriticalWordFirstHelpsNarrowBus(t *testing.T) {
+	base, err := RunMix(short(config.Simple3D()), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwfCfg := short(config.Simple3D())
+	cwfCfg.CriticalWordFirst = true
+	cwfCfg.Name = "3D-cwf"
+	cwf, err := RunMix(cwfCfg, "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cwf.HMIPC <= base.HMIPC {
+		t.Fatalf("CWF (%.4f) did not help the narrow bus (%.4f)", cwf.HMIPC, base.HMIPC)
+	}
+}
+
+func TestSmartRefreshDoesNotHurt(t *testing.T) {
+	base, err := RunMix(short(config.QuadMC()), "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCfg := short(config.QuadMC())
+	sCfg.SmartRefresh = true
+	sCfg.Name = "quadmc-smartref"
+	smart, err := RunMix(sCfg, "VH2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh overhead is small, so require only no regression beyond
+	// noise.
+	if smart.HMIPC < base.HMIPC*0.97 {
+		t.Fatalf("smart refresh regressed: %.4f vs %.4f", smart.HMIPC, base.HMIPC)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{ID: "X", Columns: []string{"a", "b,c"}, Rows: []FigureRow{
+		{Label: "r1", Values: []float64{1.5, 2}},
+		{Label: `quo"te`, Values: []float64{3}},
+	}}
+	csv := f.CSV()
+	want := "X,a,\"b,c\"\nr1,1.5,2\n\"quo\"\"te\",3\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestInvariantsAfterQuiesce(t *testing.T) {
+	for _, mk := range []func() *config.Config{config.Baseline2D, config.QuadMC} {
+		cfg := short(mk())
+		sys, err := NewSystem(cfg, []string{"S.all", "mcf", "qsort", "gzip"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		if !sys.DrainQuiesce(2_000_000) {
+			t.Fatalf("%s: system did not quiesce", cfg.Name)
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestInvariantsWithVBFAndDynamic(t *testing.T) {
+	cfg := short(config.DualMC().WithMSHR(8, config.MSHRVBF, true))
+	sys, err := NewSystem(cfg, []string{"tigr", "libquantum", "qsort", "soplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if !sys.DrainQuiesce(2_000_000) {
+		t.Fatal("system did not quiesce")
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnifiedMSHRRestoresMCScaling(t *testing.T) {
+	// DESIGN.md deviation 2: with a unified MSHR file, adding memory
+	// controllers must not hurt (the banked variant may, because it
+	// splits the 8-entry budget).
+	r := NewRunner(50_000, 150_000)
+	base := config.Fast3D()
+	one := config.Aggressive(1, 16, 1)
+	four := config.Aggressive(4, 16, 1)
+	four.MSHRUnified = true
+	four.Name = four.Name + "-unified"
+	s1, err := r.GMSpeedup(base, one, []string{"VH1", "VH2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := r.GMSpeedup(base, four, []string{"VH1", "VH2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 < s1*0.98 {
+		t.Fatalf("unified 4MC (%.3f) fell below 1MC (%.3f)", s4, s1)
+	}
+}
+
+func TestUnifiedMSHRInvariants(t *testing.T) {
+	cfg := short(config.QuadMC())
+	cfg.MSHRUnified = true
+	cfg.Name = cfg.Name + "-unified"
+	sys, err := NewSystem(cfg, []string{"S.all", "tigr", "mcf", "qsort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if !sys.DrainQuiesce(2_000_000) {
+		t.Fatal("unified-MSHR system did not quiesce")
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.L2.MSHRBanks()); got != 1 {
+		t.Fatalf("unified system has %d MSHR banks, want 1", got)
+	}
+}
+
+func TestRefreshSkipRateReported(t *testing.T) {
+	// Short windows rarely let a refresh command coincide with a
+	// freshly-touched row group, so assert the plumbing (tracker
+	// enabled, rate in range) rather than a positive skip count —
+	// internal/dram covers the skipping logic deterministically.
+	cfg := short(config.QuadMC())
+	cfg.SmartRefresh = true
+	cfg.Name = cfg.Name + "-sr"
+	sys, err := NewSystem(cfg, []string{"S.all", "S.all", "S.all", "S.all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.MCs[0].Ranks()[0].SmartRefresh() {
+		t.Fatal("smart refresh not enabled on the ranks")
+	}
+	m := sys.Run()
+	if m.RefreshSkipRate < 0 || m.RefreshSkipRate > 1 {
+		t.Fatalf("RefreshSkipRate = %v", m.RefreshSkipRate)
+	}
+	off, err := RunMix(short(config.QuadMC()), "VH1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.RefreshSkipRate != 0 {
+		t.Fatalf("skip rate %v without smart refresh", off.RefreshSkipRate)
+	}
+}
+
+// TestScalableMHAMattersFarMoreOn3D reproduces the paper's closing
+// Section 5 observation in relative form: scaling the L2 MHA pays off
+// on 3D-stacked memory, where the MSHRs are the bottleneck, far more
+// than on the conventional 2D system, where the off-chip bus and DRAM
+// dominate. (The paper reports no 2D improvement at all; this model
+// still finds some 2D headroom — its 2D round trips are queue-dominated
+// — so the claim is checked as a ratio rather than as zero.)
+func TestScalableMHAMattersFarMoreOn3D(t *testing.T) {
+	gain := func(mk func() *config.Config) float64 {
+		base, err := RunMix(short(mk()), "VH1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := RunMix(short(mk().WithMSHR(8, config.MSHRVBF, true)), "VH1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return big.HMIPC/base.HMIPC - 1
+	}
+	g2d, g3d := gain(config.Baseline2D), gain(config.QuadMC)
+	if g3d < 2*g2d {
+		t.Fatalf("3D MHA gain (%.1f%%) not clearly above 2D (%.1f%%)", 100*g3d, 100*g2d)
+	}
+}

@@ -1,0 +1,421 @@
+// Package cpu implements the simplified out-of-order core model: 4-wide
+// dispatch and commit, a 96-entry ROB, limited load/store ports,
+// non-blocking caches underneath, dependent-load serialization, and a
+// branch-misprediction front-end stall — the contention and memory-level
+// parallelism behaviour that drives the paper's results.
+package cpu
+
+import (
+	"fmt"
+
+	"stackedsim/internal/cache"
+	"stackedsim/internal/config"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/sim"
+	"stackedsim/internal/tlb"
+)
+
+// UOp is one micro-operation produced by a workload generator.
+type UOp struct {
+	// Mem marks a load or store; non-memory μops execute in one cycle.
+	Mem   bool
+	Store bool
+	// VAddr is the virtual address of a memory μop.
+	VAddr uint64
+	// PC identifies the instruction for the stride prefetchers.
+	PC uint64
+	// DependsOnPrev serializes this memory μop behind the previous
+	// memory μop in program order (pointer chasing).
+	DependsOnPrev bool
+	// Mispredict marks a branch that will be mispredicted, stalling the
+	// front end for the pipeline refill penalty after it executes.
+	Mispredict bool
+}
+
+// UOpSource supplies the dynamic μop stream of one program.
+type UOpSource interface {
+	Next() UOp
+}
+
+// Stats counts per-core retirement and memory activity.
+type Stats struct {
+	Cycles     uint64
+	Committed  uint64
+	Loads      uint64
+	Stores     uint64
+	TLBWalks   uint64
+	Mispredict uint64
+	// ROBStall counts cycles dispatch was blocked by a full ROB.
+	ROBStall uint64
+	// FetchMisses counts IL1 misses; FetchStall counts cycles dispatch
+	// waited on instruction supply (IL1 miss or ITLB walk).
+	FetchMisses uint64
+	FetchStall  uint64
+}
+
+// IPC reports committed μops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+type robState uint8
+
+const (
+	stWaiting robState = iota // memory μop not yet issued
+	stInFlight
+	stDone
+)
+
+type robEntry struct {
+	op      UOp
+	state   robState
+	readyAt sim.Cycle // completion time for time-based completions
+	timed   bool      // readyAt is authoritative (vs callback)
+	prevMem int       // ROB index of previous memory μop, -1 if none
+	prevSeq uint64    // sequence of that producer (guards slot reuse)
+	seq     uint64
+}
+
+// tlbWalkCycles is the fixed page-walk penalty on a DTLB miss.
+const tlbWalkCycles = 30
+
+// Core is one processor core.
+type Core struct {
+	id  int
+	cfg *config.Config
+	l1  *cache.L1
+	dt  *tlb.TLB
+	il1 *cache.L1 // optional instruction cache (nil = ideal fetch)
+	it  *tlb.TLB  // optional ITLB
+	pt  *mem.PageTable
+	src UOpSource
+
+	// Fetch state: the μop waiting on instruction supply, the last
+	// instruction line confirmed resident, and whether an IL1 fill is
+	// outstanding.
+	pendingOp        *UOp
+	lastFetchLine    mem.Addr
+	pendingFetchLine mem.Addr
+	fetchWait        bool
+
+	rob        []robEntry
+	head, tail int // ring: head = oldest, tail = next free
+	occupancy  int
+	lastMemIdx int // ROB index of most recent dispatched memory μop
+	seq        uint64
+
+	memQ []int // ROB indices of unissued memory μops, oldest first
+
+	fetchStallUntil sim.Cycle
+	stats           Stats
+	frozen          bool
+	halted          bool
+	committedTotal  uint64
+}
+
+// Params assembles a core.
+type Params struct {
+	ID     int
+	Cfg    *config.Config
+	L1     *cache.L1
+	DTLB   *tlb.TLB
+	Pages  *mem.PageTable
+	Source UOpSource
+	// IL1 and ITLB model the instruction-fetch path; both may be nil
+	// for an ideal front end (unit tests, fetch-insensitive studies).
+	IL1  *cache.L1
+	ITLB *tlb.TLB
+}
+
+// New builds a core.
+func New(p Params) *Core {
+	if p.Cfg == nil || p.L1 == nil || p.DTLB == nil || p.Pages == nil || p.Source == nil {
+		panic("cpu: New missing a required component")
+	}
+	return &Core{
+		id:            p.ID,
+		cfg:           p.Cfg,
+		l1:            p.L1,
+		dt:            p.DTLB,
+		il1:           p.IL1,
+		it:            p.ITLB,
+		pt:            p.Pages,
+		src:           p.Source,
+		rob:           make([]robEntry, p.Cfg.ROBSize),
+		lastMemIdx:    -1,
+		lastFetchLine: ^mem.Addr(0),
+	}
+}
+
+// Stats returns the counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Freeze stops statistics collection while execution continues — the
+// paper's methodology for multi-programmed runs where one program
+// finishes its sample early.
+func (c *Core) Freeze() { c.frozen = true }
+
+// Frozen reports whether stats are frozen.
+func (c *Core) Frozen() bool { return c.frozen }
+
+// ResetStats zeroes the counters (end of warmup).
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Committed reports lifetime committed μops regardless of freezing; the
+// dynamic MSHR tuner samples this.
+func (c *Core) Committed() uint64 { return c.committedTotal }
+
+// Halt stops the front end: no new μops dispatch, but queued work keeps
+// issuing and retiring so in-flight memory traffic drains (used by
+// System.DrainQuiesce and the invariant checker).
+func (c *Core) Halt() { c.halted = true }
+
+// Tick advances the core one cycle: retire, issue memory operations,
+// then dispatch new μops.
+func (c *Core) Tick(now sim.Cycle) {
+	if !c.frozen {
+		c.stats.Cycles++
+	}
+	c.commit(now)
+	c.issueMem(now)
+	if !c.halted {
+		c.dispatch(now)
+	}
+}
+
+func (c *Core) commit(now sim.Cycle) {
+	for n := 0; n < c.cfg.CommitWidth && c.occupancy > 0; n++ {
+		e := &c.rob[c.head]
+		if e.state != stDone {
+			if e.timed && now >= e.readyAt {
+				e.state = stDone
+			} else {
+				return
+			}
+		}
+		if e.op.Mispredict {
+			if !c.frozen {
+				c.stats.Mispredict++
+			}
+			stall := now + sim.Cycle(c.cfg.MispredictPenalty)
+			if stall > c.fetchStallUntil {
+				c.fetchStallUntil = stall
+			}
+		}
+		c.committedTotal++
+		if !c.frozen {
+			c.stats.Committed++
+		}
+		if c.lastMemIdx == c.head {
+			c.lastMemIdx = -1
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.occupancy--
+	}
+}
+
+// entryDone reports whether the ROB entry at index i has completed.
+func (c *Core) entryDone(i int, now sim.Cycle) bool {
+	e := &c.rob[i]
+	if e.state == stDone {
+		return true
+	}
+	if e.timed && now >= e.readyAt {
+		e.state = stDone
+		return true
+	}
+	return false
+}
+
+func (c *Core) issueMem(now sim.Cycle) {
+	loads, stores := c.cfg.LoadPorts, c.cfg.StorePorts
+	for len(c.memQ) > 0 && (loads > 0 || stores > 0) {
+		idx := c.memQ[0]
+		e := &c.rob[idx]
+		if e.op.DependsOnPrev && e.prevMem >= 0 &&
+			c.rob[e.prevMem].seq == e.prevSeq && // producer still in the ROB
+			!c.entryDone(e.prevMem, now) {
+			return // dependent load serialized behind its producer
+		}
+		if now < e.readyAt {
+			return // still paying a TLB walk
+		}
+		if e.op.Store {
+			if stores == 0 {
+				return
+			}
+		} else if loads == 0 {
+			return
+		}
+		if !c.tryIssue(idx, now) {
+			return // L1 blocked (MSHRs full): retry next cycle
+		}
+		c.memQ = c.memQ[1:]
+		if e.op.Store {
+			stores--
+		} else {
+			loads--
+		}
+	}
+}
+
+// tryIssue performs the TLB and L1 access for the memory μop at ROB
+// index idx. It reports false when the L1 cannot accept it.
+func (c *Core) tryIssue(idx int, now sim.Cycle) bool {
+	e := &c.rob[idx]
+	vaddr := mem.CoreSpace(c.id, e.op.VAddr)
+	if e.readyAt <= now && !c.dt.Access(uint64(vaddr)/uint64(c.cfg.PageBytes)) {
+		// TLB miss: pay the walk; the μop stays queued and retries
+		// when the walk completes.
+		if !c.frozen {
+			c.stats.TLBWalks++
+		}
+		e.readyAt = now + tlbWalkCycles
+		return false
+	}
+	paddr := c.pt.Translate(vaddr)
+	if e.op.Store {
+		if !c.frozen {
+			c.stats.Stores++
+		}
+		// Stores retire through the store buffer: the μop completes at
+		// issue; the cache access proceeds in the background.
+		switch c.l1.Access(now, e.op.PC, paddr, true, nil) {
+		case cache.Blocked:
+			if !c.frozen {
+				c.stats.Stores--
+			}
+			return false
+		}
+		e.state = stDone
+		return true
+	}
+	if !c.frozen {
+		c.stats.Loads++
+	}
+	seq := e.seq
+	switch c.l1.Access(now, e.op.PC, paddr, false, func(at sim.Cycle) {
+		// Guard against the ROB slot having been recycled.
+		if c.rob[idx].seq == seq {
+			c.rob[idx].state = stDone
+		}
+	}) {
+	case cache.Hit:
+		e.timed = true
+		e.readyAt = now + c.l1.Latency()
+		e.state = stInFlight
+	case cache.Miss:
+		e.state = stInFlight
+	case cache.Blocked:
+		if !c.frozen {
+			c.stats.Loads--
+		}
+		return false
+	}
+	return true
+}
+
+// instrBytes spaces synthetic PCs in the instruction address space.
+const instrBytes = 4
+
+// fetched checks instruction supply for op: true when the instruction's
+// line is (now) resident in the IL1. A miss starts the fill and stalls
+// dispatch until the line arrives.
+func (c *Core) fetched(op *UOp, now sim.Cycle) bool {
+	if c.il1 == nil {
+		return true
+	}
+	if c.fetchWait {
+		if !c.frozen {
+			c.stats.FetchStall++
+		}
+		return false // fill outstanding
+	}
+	vaddr := mem.CoreSpace(c.id, 1<<44|op.PC*instrBytes)
+	line := mem.Addr(uint64(vaddr)) &^ 63
+	if line == c.lastFetchLine {
+		return true // same line as the previous μop: already streamed in
+	}
+	if c.it != nil && !c.it.Access(uint64(vaddr)/uint64(c.cfg.PageBytes)) {
+		// ITLB walk: charge it as front-end stall time.
+		c.fetchStallUntil = now + tlbWalkCycles
+		if !c.frozen {
+			c.stats.TLBWalks++
+			c.stats.FetchStall++
+		}
+		return false
+	}
+	paddr := c.pt.Translate(vaddr)
+	switch c.il1.Access(now, op.PC, paddr, false, func(at sim.Cycle) {
+		c.fetchWait = false
+		c.lastFetchLine = c.pendingFetchLine
+	}) {
+	case cache.Hit:
+		c.lastFetchLine = line
+		return true
+	case cache.Miss:
+		if !c.frozen {
+			c.stats.FetchMisses++
+			c.stats.FetchStall++
+		}
+		c.fetchWait = true
+		// The fill callback records the line as resident.
+		ln := line
+		c.pendingFetchLine = ln
+		return false
+	default: // Blocked: retry next cycle
+		if !c.frozen {
+			c.stats.FetchStall++
+		}
+		return false
+	}
+}
+
+func (c *Core) dispatch(now sim.Cycle) {
+	if now < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		if c.occupancy >= len(c.rob) {
+			if !c.frozen {
+				c.stats.ROBStall++
+			}
+			return
+		}
+		if c.pendingOp == nil {
+			next := c.src.Next()
+			c.pendingOp = &next
+		}
+		if !c.fetched(c.pendingOp, now) {
+			return // waiting on instruction supply
+		}
+		op := *c.pendingOp
+		c.pendingOp = nil
+		idx := c.tail
+		c.seq++
+		var prevSeq uint64
+		if c.lastMemIdx >= 0 {
+			prevSeq = c.rob[c.lastMemIdx].seq
+		}
+		c.rob[idx] = robEntry{op: op, prevMem: c.lastMemIdx, prevSeq: prevSeq, seq: c.seq}
+		if op.Mem {
+			c.rob[idx].state = stWaiting
+			c.memQ = append(c.memQ, idx)
+			c.lastMemIdx = idx
+		} else {
+			c.rob[idx].timed = true
+			c.rob[idx].readyAt = now + 1
+			c.rob[idx].state = stInFlight
+		}
+		c.tail = (c.tail + 1) % len(c.rob)
+		c.occupancy++
+	}
+}
+
+// String describes the core for debugging.
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d rob=%d/%d memQ=%d", c.id, c.occupancy, len(c.rob), len(c.memQ))
+}

@@ -1,0 +1,242 @@
+// Package dram models the stacked (or off-chip) DRAM arrays: per-bank
+// timing state machines with tRCD/tCAS/tRP/tRAS/tWR constraints,
+// multi-entry row-buffer caches managed LRU (the paper's Section 4.2
+// "cached DRAM"), and periodic refresh whose interval shrinks from 64ms
+// to 32ms when the DRAM is stacked over a hot processor.
+package dram
+
+import (
+	"fmt"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/sim"
+)
+
+// Timing holds the array timing parameters converted to CPU cycles
+// (rounded up, as in the paper).
+type Timing struct {
+	RAS sim.Cycle // activate -> precharge minimum
+	RCD sim.Cycle // activate -> column command
+	CAS sim.Cycle // column command -> data
+	WR  sim.Cycle // write recovery before precharge
+	RP  sim.Cycle // precharge duration
+	RFC sim.Cycle // refresh occupancy per refresh command
+}
+
+// TimingInCycles converts nanosecond timing to CPU cycles at cpuMHz.
+// tRFC is approximated as one full row cycle (tRAS+tRP); Table 1 does not
+// list it and it only sets the (small) refresh overhead.
+func TimingInCycles(t config.DRAMTiming, cpuMHz float64) Timing {
+	return Timing{
+		RAS: sim.CyclesForNanos(t.TRASns, cpuMHz),
+		RCD: sim.CyclesForNanos(t.TRCDns, cpuMHz),
+		CAS: sim.CyclesForNanos(t.TCASns, cpuMHz),
+		WR:  sim.CyclesForNanos(t.TWRns, cpuMHz),
+		RP:  sim.CyclesForNanos(t.TRPns, cpuMHz),
+		RFC: sim.CyclesForNanos(t.TRASns+t.TRPns, cpuMHz),
+	}
+}
+
+// rbEntry is one row-buffer-cache entry.
+type rbEntry struct {
+	row   int64
+	dirty bool
+}
+
+// BankStats counts per-bank events.
+type BankStats struct {
+	Accesses  uint64
+	RowHits   uint64
+	Activates uint64
+	Evictions uint64 // row-buffer entries displaced
+	Refreshes uint64
+}
+
+// Bank is one DRAM bank: a bitcell array fronted by a small fully-
+// associative row-buffer cache. The zero value is not usable; use
+// NewBank.
+//
+// The bank is a passive timing model driven by the memory controller: the
+// controller checks Ready/HasRow to schedule, then calls Access, which
+// returns the cycle at which data is available and occupies the bank
+// until then.
+type Bank struct {
+	timing    Timing
+	rb        []rbEntry // MRU first
+	rbCap     int
+	busyUntil sim.Cycle
+	lastAct   sim.Cycle // most recent activate, for the tRAS constraint
+	stats     BankStats
+}
+
+// NewBank returns an idle bank with the given row-buffer-cache capacity.
+func NewBank(t Timing, rowBufEntries int) *Bank {
+	if rowBufEntries < 1 {
+		panic(fmt.Sprintf("dram: row buffer entries %d must be >= 1", rowBufEntries))
+	}
+	return &Bank{timing: t, rbCap: rowBufEntries, lastAct: -1 << 62}
+}
+
+// Stats returns the bank's counters.
+func (b *Bank) Stats() *BankStats { return &b.stats }
+
+// Ready reports whether the bank can accept a command at cycle now.
+func (b *Bank) Ready(now sim.Cycle) bool { return now >= b.busyUntil }
+
+// BusyUntil reports when the bank frees up.
+func (b *Bank) BusyUntil() sim.Cycle { return b.busyUntil }
+
+// HasRow reports whether row is held by a row-buffer entry, i.e. whether
+// an access would be a row-buffer hit. Used by FR-FCFS scheduling.
+func (b *Bank) HasRow(row int64) bool {
+	for _, e := range b.rb {
+		if e.row == row {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenRows reports the number of live row-buffer entries.
+func (b *Bank) OpenRows() int { return len(b.rb) }
+
+// touch moves the entry at index i to MRU position.
+func (b *Bank) touch(i int) {
+	if i == 0 {
+		return
+	}
+	e := b.rb[i]
+	copy(b.rb[1:i+1], b.rb[0:i])
+	b.rb[0] = e
+}
+
+// Access performs a read or write of row at cycle now, which must satisfy
+// Ready(now). It returns the cycle data is available (read) or accepted
+// (write) and whether the access hit in the row-buffer cache. The bank is
+// busy until the returned cycle.
+func (b *Bank) Access(now sim.Cycle, row int64, write bool) (dataAt sim.Cycle, rowHit bool) {
+	if now < b.busyUntil {
+		panic(fmt.Sprintf("dram: Access at %d while busy until %d", now, b.busyUntil))
+	}
+	b.stats.Accesses++
+	for i := range b.rb {
+		if b.rb[i].row == row {
+			// Row-buffer hit: column access only.
+			b.stats.RowHits++
+			b.touch(i)
+			if write {
+				b.rb[0].dirty = true
+			}
+			dataAt = now + b.timing.CAS
+			b.busyUntil = dataAt
+			return dataAt, true
+		}
+	}
+	// Miss: bring the row into the row-buffer cache.
+	start := now
+	if len(b.rb) >= b.rbCap {
+		// Evict the LRU entry. Its sense amps must be precharged, and a
+		// dirty entry must complete write recovery first. Precharge also
+		// respects the tRAS minimum since that row's activation; we
+		// track the bank-wide most-recent activate as a conservative
+		// proxy rather than per-entry timestamps.
+		victim := b.rb[len(b.rb)-1]
+		b.rb = b.rb[:len(b.rb)-1]
+		b.stats.Evictions++
+		if victim.dirty {
+			start += b.timing.WR
+		}
+		if earliest := b.lastAct + b.timing.RAS; start < earliest {
+			start = earliest
+		}
+		start += b.timing.RP
+	}
+	// Activate the requested row into an entry, then column access.
+	b.stats.Activates++
+	b.lastAct = start
+	b.rb = append(b.rb, rbEntry{})
+	copy(b.rb[1:], b.rb[0:len(b.rb)-1])
+	b.rb[0] = rbEntry{row: row, dirty: write}
+	dataAt = start + b.timing.RCD + b.timing.CAS
+	b.busyUntil = dataAt
+	return dataAt, false
+}
+
+// Refresh blocks the bank for one refresh command starting no earlier
+// than now (or when the bank frees up) and invalidates the row-buffer
+// cache, since refresh reads and rewrites the rows through the sense
+// amps. Dirty entries are written back as part of the operation.
+func (b *Bank) Refresh(now sim.Cycle) {
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.busyUntil = start + b.timing.RFC
+	b.rb = b.rb[:0]
+	b.stats.Refreshes++
+}
+
+// Rank groups banks that share a refresh schedule. Smart-refresh
+// skipping (see refresh.go) is enabled with EnableSmartRefresh.
+type Rank struct {
+	Banks    []*Bank
+	interval sim.Cycle // tREFI in CPU cycles
+	next     sim.Cycle
+	cmd      int64 // rolling refresh command index
+	trackers []*refreshTracker
+
+	// Skipped counts refresh commands elided by smart refresh; Issued
+	// counts commands actually sent (both per bank).
+	Skipped uint64
+	Issued  uint64
+}
+
+// rowsPerRefreshPeriod is the number of refresh commands that must be
+// issued per retention period (8K-row refresh, standard for DDR2).
+const rowsPerRefreshPeriod = 8192
+
+// NewRank builds a rank of banks banks with the given timing, row-buffer
+// capacity, and retention period in milliseconds (0 disables refresh).
+func NewRank(t Timing, banks, rowBufEntries, refreshMS int, cpuMHz float64) *Rank {
+	if banks < 1 {
+		panic(fmt.Sprintf("dram: rank needs >= 1 bank, got %d", banks))
+	}
+	r := &Rank{Banks: make([]*Bank, banks)}
+	for i := range r.Banks {
+		r.Banks[i] = NewBank(t, rowBufEntries)
+	}
+	if refreshMS > 0 {
+		ns := float64(refreshMS) * 1e6 / rowsPerRefreshPeriod
+		r.interval = sim.CyclesForNanos(ns, cpuMHz)
+		if r.interval < 1 {
+			r.interval = 1
+		}
+		r.next = r.interval
+	}
+	return r
+}
+
+// RefreshInterval reports tREFI in CPU cycles (0 = disabled).
+func (r *Rank) RefreshInterval() sim.Cycle { return r.interval }
+
+// Tick issues refresh commands when due. All banks in the rank refresh
+// together (all-bank refresh, as in DDR2); with smart refresh enabled,
+// banks whose due row group is fresh skip their command.
+func (r *Rank) Tick(now sim.Cycle) {
+	if r.interval == 0 || now < r.next {
+		return
+	}
+	for i, b := range r.Banks {
+		if len(r.trackers) > 0 && r.trackers[i].fresh(r.cmd, now) {
+			r.Skipped++
+			continue
+		}
+		r.Issued++
+		b.Refresh(now)
+	}
+	r.cmd++
+	r.next += r.interval
+}
+
+// ResetStats zeroes the bank counters (end of warmup).
+func (b *Bank) ResetStats() { b.stats = BankStats{} }

@@ -1,0 +1,156 @@
+package dram
+
+import (
+	"testing"
+
+	"stackedsim/internal/sim"
+)
+
+func TestSmartRefreshSkipsFreshGroups(t *testing.T) {
+	r := NewRank(tm(), 1, 1, 64, 1000)
+	r.EnableSmartRefresh(8192) // one row per refresh command
+	if !r.SmartRefresh() {
+		t.Fatal("SmartRefresh() = false after enable")
+	}
+	interval := r.RefreshInterval()
+	// Touch the rows covered by the first three refresh commands just
+	// before each command fires.
+	bank := r.Banks[0]
+	now := sim.Cycle(0)
+	for cmd := int64(0); cmd < 3; cmd++ {
+		// Touch row `cmd` (group == row here).
+		r.Touch(0, cmd, now)
+		for ; now <= interval*(sim.Cycle(cmd)+1); now++ {
+			r.Tick(now)
+		}
+	}
+	if r.Skipped != 3 {
+		t.Fatalf("Skipped = %d, want 3", r.Skipped)
+	}
+	if bank.Stats().Refreshes != 0 {
+		t.Fatalf("bank refreshed %d times despite fresh rows", bank.Stats().Refreshes)
+	}
+}
+
+func TestSmartRefreshStillRefreshesColdGroups(t *testing.T) {
+	r := NewRank(tm(), 1, 1, 64, 1000)
+	r.EnableSmartRefresh(8192)
+	interval := r.RefreshInterval()
+	for now := sim.Cycle(1); now <= interval*4; now++ {
+		r.Tick(now)
+	}
+	if r.Issued != 4 || r.Skipped != 0 {
+		t.Fatalf("issued/skipped = %d/%d, want 4/0", r.Issued, r.Skipped)
+	}
+}
+
+func TestSmartRefreshStaleTouchExpires(t *testing.T) {
+	// A touch older than the retention period must not suppress the
+	// refresh.
+	r := NewRank(tm(), 1, 1, 64, 1000)
+	r.EnableSmartRefresh(8192)
+	retention := r.RefreshInterval() * rowsPerRefreshPeriod
+	r.Touch(0, 0, 0)
+	// Jump time far past the retention period, then tick once at the
+	// next due point for command 0... command index cycles, so instead
+	// verify via the tracker directly.
+	tr := r.trackers[0]
+	if !tr.fresh(0, retention-1) {
+		t.Fatal("group not fresh within retention")
+	}
+	if tr.fresh(0, retention+1) {
+		t.Fatal("group still fresh past retention")
+	}
+}
+
+func TestSmartRefreshGroupGranularity(t *testing.T) {
+	// 32768 rows per bank -> 4 rows per refresh command.
+	tr := newRefreshTracker(32768, 1000)
+	if tr.rowsPerCmd != 4 {
+		t.Fatalf("rowsPerCmd = %d, want 4", tr.rowsPerCmd)
+	}
+	tr.touch(5, 100) // group 1 (rows 4-7)
+	if !tr.fresh(1, 200) {
+		t.Fatal("touched group not fresh")
+	}
+	if tr.fresh(0, 200) {
+		t.Fatal("untouched group fresh")
+	}
+	// Command indices wrap modulo the group count.
+	if !tr.fresh(1+int64(len(tr.groups)), 200) {
+		t.Fatal("wrapped command index not fresh")
+	}
+}
+
+func TestSmartRefreshSkipRate(t *testing.T) {
+	r := NewRank(tm(), 2, 1, 64, 1000)
+	r.EnableSmartRefresh(8192)
+	if r.SkipRate() != 0 {
+		t.Fatal("SkipRate nonzero before any commands")
+	}
+	r.Skipped, r.Issued = 3, 1
+	if r.SkipRate() != 0.75 {
+		t.Fatalf("SkipRate = %v, want 0.75", r.SkipRate())
+	}
+}
+
+func TestSmartRefreshTouchOutOfRangeIgnored(t *testing.T) {
+	tr := newRefreshTracker(8192, 1000)
+	tr.touch(-1, 100)
+	tr.touch(1<<40, 100)
+	// No panic and nothing fresh.
+	if tr.fresh(0, 101) {
+		t.Fatal("out-of-range touch registered")
+	}
+}
+
+func TestEnableSmartRefreshPanics(t *testing.T) {
+	noRefresh := NewRank(tm(), 1, 1, 0, 1000)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnableSmartRefresh without refresh did not panic")
+			}
+		}()
+		noRefresh.EnableSmartRefresh(100)
+	}()
+	withRefresh := NewRank(tm(), 1, 1, 64, 1000)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnableSmartRefresh(0 rows) did not panic")
+			}
+		}()
+		withRefresh.EnableSmartRefresh(0)
+	}()
+}
+
+func TestTouchWithoutSmartRefreshIsNoop(t *testing.T) {
+	r := NewRank(tm(), 1, 1, 64, 1000)
+	r.Touch(0, 5, 100) // must not panic
+	if r.SmartRefresh() {
+		t.Fatal("SmartRefresh() = true without enable")
+	}
+}
+
+func TestStreamingWorkloadSkipsManyRefreshes(t *testing.T) {
+	// A bank whose rows are continuously swept gets most refreshes for
+	// free. Sweep all 8192 groups repeatedly while ticking.
+	r := NewRank(tm(), 1, 1, 64, 1000)
+	r.EnableSmartRefresh(8192)
+	row := int64(0)
+	for now := sim.Cycle(1); now <= r.RefreshInterval()*100; now++ {
+		// Touch ~4 rows per tREFI worth of cycles: a full sweep takes
+		// ~2048 commands, well inside the 8192-command retention.
+		if now%2000 == 0 {
+			for k := 0; k < 8; k++ {
+				r.Touch(0, row%8192, now)
+				row++
+			}
+		}
+		r.Tick(now)
+	}
+	if r.SkipRate() < 0.5 {
+		t.Fatalf("streaming skip rate = %.2f, want > 0.5", r.SkipRate())
+	}
+}

@@ -1,0 +1,102 @@
+// Package floorplan reproduces the Section 2 area arithmetic: TSV bus
+// footprints, DRAM density scaling and per-layer die size, and the
+// row-buffer SRAM budget that Section 4 trades against extra L2.
+package floorplan
+
+import "fmt"
+
+// TSV geometry from Gupta et al. as cited in Section 2.2.
+const (
+	// TSVPitchLowUM and TSVPitchHighUM bracket reported TSV pitches.
+	TSVPitchLowUM  = 4.0
+	TSVPitchHighUM = 10.0
+	// tsvOverhead accounts for keep-out spacing, shielding and
+	// power/ground TSVs around each signal; calibrated so a 1024-bit bus
+	// at the 10um pitch occupies the paper's quoted 0.32mm^2.
+	tsvOverhead = 3.125
+)
+
+// BusAreaMM2 reports the silicon area of a vertical bus of the given
+// width in bits at a TSV pitch in micrometers.
+func BusAreaMM2(bits int, pitchUM float64) float64 {
+	if bits <= 0 || pitchUM <= 0 {
+		return 0
+	}
+	um2 := float64(bits) * pitchUM * pitchUM * tsvOverhead
+	return um2 / 1e6
+}
+
+// BusesPerCM2 reports how many such buses fit on a square centimeter
+// (the paper: over three hundred 1Kb buses).
+func BusesPerCM2(bits int, pitchUM float64) int {
+	area := BusAreaMM2(bits, pitchUM)
+	if area == 0 {
+		return 0
+	}
+	return int(100.0 / area)
+}
+
+// DRAM density arithmetic from Section 2.4.
+const (
+	// Density80nm is the cited DRAM density at 80nm in Mb per mm^2.
+	Density80nm = 10.9
+)
+
+// DensityAtNode scales DRAM density from 80nm to the given node,
+// assuming ideal area scaling with feature size squared.
+func DensityAtNode(nodeNM float64) float64 {
+	if nodeNM <= 0 {
+		return 0
+	}
+	scale := 80.0 / nodeNM
+	return Density80nm * scale * scale
+}
+
+// LayerAreaMM2 reports the die area needed for capacityGB gigabytes on
+// one layer at the given density in Mb/mm^2. One GB = 8192 Mb.
+func LayerAreaMM2(capacityGB float64, densityMbPerMM2 float64) float64 {
+	if densityMbPerMM2 <= 0 {
+		return 0
+	}
+	return capacityGB * 8192 / densityMbPerMM2
+}
+
+// LayersFor reports how many stacked DRAM layers realize totalGB at
+// perLayerGB per layer, plus one extra die when the peripheral logic is
+// split onto its own layer (the Tezzaron-style true-3D organization).
+func LayersFor(totalGB, perLayerGB int, separateLogic bool) int {
+	if perLayerGB <= 0 || totalGB <= 0 {
+		return 0
+	}
+	layers := (totalGB + perLayerGB - 1) / perLayerGB
+	if separateLogic {
+		layers++
+	}
+	return layers
+}
+
+// RowBufferBudgetBytes reports the SRAM held in row buffers: one
+// page-sized entry per row-buffer-cache slot per bank (Section 4.1's
+// 256KB-per-8-ranks arithmetic).
+func RowBufferBudgetBytes(ranks, banksPerRank, pageBytes, entries int) int {
+	if ranks <= 0 || banksPerRank <= 0 || pageBytes <= 0 || entries <= 0 {
+		return 0
+	}
+	return ranks * banksPerRank * pageBytes * entries
+}
+
+// Report renders the Section 2/4 arithmetic for the paper's parameters.
+func Report() string {
+	out := "TSV arithmetic (Section 2.2):\n"
+	out += fmt.Sprintf("  1024-bit bus at %.0fum pitch: %.2f mm^2\n", TSVPitchHighUM, BusAreaMM2(1024, TSVPitchHighUM))
+	out += fmt.Sprintf("  1Kb buses per cm^2: %d (paper: over three hundred)\n", BusesPerCM2(1024, TSVPitchHighUM))
+	d50 := DensityAtNode(50)
+	out += "DRAM density (Section 2.4):\n"
+	out += fmt.Sprintf("  80nm: %.1f Mb/mm^2; 50nm: %.1f Mb/mm^2 (paper: 27.9)\n", Density80nm, d50)
+	out += fmt.Sprintf("  1GB layer footprint at 50nm: %.0f mm^2 (paper: 294)\n", LayerAreaMM2(1, d50))
+	out += fmt.Sprintf("  8GB stack: %d layers (+logic: %d)\n", LayersFor(8, 1, false), LayersFor(8, 1, true))
+	out += "Row-buffer budget (Section 4.1):\n"
+	out += fmt.Sprintf("  8 ranks x 8 banks x 4KB x 1 entry: %d KB (paper: 256KB)\n", RowBufferBudgetBytes(8, 8, 4096, 1)/1024)
+	out += fmt.Sprintf("  16 ranks: %d KB total\n", RowBufferBudgetBytes(16, 8, 4096, 1)/1024)
+	return out
+}

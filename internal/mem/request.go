@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"fmt"
+
+	"stackedsim/internal/sim"
+)
+
+// Kind classifies a memory request.
+type Kind uint8
+
+const (
+	// Read is a demand load miss.
+	Read Kind = iota
+	// Write is a demand store (write-allocate at the caches).
+	Write
+	// Writeback is a dirty-line eviction traveling down the hierarchy.
+	Writeback
+	// Prefetch is a hardware prefetcher read; it is dropped rather than
+	// queued when resources are exhausted.
+	Prefetch
+	// Fetch is an instruction fetch from the IL1.
+	Fetch
+)
+
+var kindNames = [...]string{"read", "write", "writeback", "prefetch", "fetch"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsDemand reports whether a request of this kind stalls a core until it
+// completes. Writebacks and prefetches do not.
+func (k Kind) IsDemand() bool { return k == Read || k == Write || k == Fetch }
+
+// Request is one memory transaction flowing through the hierarchy. A
+// single Request object travels from the core to DRAM and back; components
+// annotate it rather than copying it.
+type Request struct {
+	ID   uint64
+	Kind Kind
+	Addr Addr // full physical address
+	Line Addr // line-aligned physical address
+	Core int  // issuing core (or -1 for hierarchy-internal traffic)
+	PC   uint64
+
+	// Issued is the cycle the request entered the component currently
+	// holding it; components use it for queue-delay accounting.
+	Issued sim.Cycle
+	// Born is the cycle the core first emitted the request.
+	Born sim.Cycle
+
+	// RowHit records whether DRAM serviced this request from an open row
+	// or row-buffer cache entry (filled in by the DRAM model).
+	RowHit bool
+
+	// Dropped marks a prefetch the hierarchy discarded under resource
+	// pressure instead of servicing; it completes without data and the
+	// issuing cache must unwind its bookkeeping.
+	Dropped bool
+
+	// OnDone, if non-nil, runs exactly once when the request completes.
+	OnDone func(r *Request, now sim.Cycle)
+
+	done bool
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req#%d %s core%d addr=%#x", r.ID, r.Kind, r.Core, uint64(r.Addr))
+}
+
+// Done reports whether Complete has been called.
+func (r *Request) Done() bool { return r.done }
+
+// Complete marks the request finished and fires OnDone. Calling Complete
+// twice panics: every request must have exactly one completion path.
+func (r *Request) Complete(now sim.Cycle) {
+	if r.done {
+		panic(fmt.Sprintf("mem: double completion of %v", r))
+	}
+	r.done = true
+	if r.OnDone != nil {
+		r.OnDone(r, now)
+	}
+}
+
+// IDSource hands out unique request IDs.
+type IDSource struct{ next uint64 }
+
+// Next returns a fresh ID.
+func (s *IDSource) Next() uint64 {
+	s.next++
+	return s.next
+}

@@ -1,0 +1,242 @@
+// Package memctrl implements the memory controller(s): a bounded memory
+// request queue (MRQ), an FR-FCFS open-page scheduler that groups
+// accesses to the same row (Rixner-style, as assumed in the paper), and
+// the data-bus/bank bookkeeping for each channel.
+//
+// Section 4.1 of the paper scales the number of controllers while keeping
+// the aggregate MRQ capacity constant at 32 entries; each Controller here
+// owns a disjoint set of ranks and its own data bus, so instantiating
+// several of them yields the banked-MC organizations of Figure 5.
+package memctrl
+
+import (
+	"fmt"
+
+	"stackedsim/internal/bus"
+	"stackedsim/internal/dram"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/sim"
+)
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Submitted   uint64
+	Rejected    uint64 // MRQ-full rejections
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64 // scheduled accesses that hit an open row
+	QueueCycles uint64 // total cycles requests waited in the MRQ
+	Completed   uint64
+}
+
+// RowHitRate reports the fraction of scheduled accesses that hit a row
+// buffer.
+func (s *Stats) RowHitRate() float64 {
+	n := s.Reads + s.Writes
+	if n == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(n)
+}
+
+// Params configures one controller.
+type Params struct {
+	ID        int
+	AMap      mem.AddrMap
+	Ranks     []*dram.Rank // the ranks this controller owns
+	QueueCap  int          // MRQ entries (aggregate 32 / number of MCs)
+	DataBus   *bus.Bus     // channel data bus
+	Divider   sim.Divider  // controller clock domain
+	FRFCFS    bool         // false = strict FIFO
+	LineBytes int
+	// CriticalWordFirst completes reads once the first beat (holding
+	// the demand word) has crossed the bus; the remaining beats still
+	// occupy it.
+	CriticalWordFirst bool
+	// WordBytes is the demand-word transfer size under CWF (8).
+	WordBytes int
+	// Respond is invoked when a request's data has fully crossed the
+	// channel. It may be nil for fire-and-forget traffic.
+	Respond func(r *mem.Request, now sim.Cycle)
+}
+
+// Controller is one memory channel's controller.
+type Controller struct {
+	p     Params
+	queue *sim.Queue[*mem.Request]
+	done  sim.EventQueue
+	stats Stats
+}
+
+// New returns a controller. It panics on malformed parameters, which are
+// always construction-time configuration bugs.
+func New(p Params) *Controller {
+	if len(p.Ranks) == 0 {
+		panic("memctrl: controller needs at least one rank")
+	}
+	if p.QueueCap < 1 {
+		panic(fmt.Sprintf("memctrl: queue capacity %d must be >= 1", p.QueueCap))
+	}
+	if p.DataBus == nil {
+		panic("memctrl: nil data bus")
+	}
+	if p.LineBytes < 1 {
+		panic("memctrl: LineBytes must be >= 1")
+	}
+	return &Controller{p: p, queue: sim.NewQueue[*mem.Request](p.QueueCap)}
+}
+
+// ID reports the controller index.
+func (c *Controller) ID() int { return c.p.ID }
+
+// Ranks exposes the ranks this controller owns (read-only use intended;
+// the power model reads bank counters through it).
+func (c *Controller) Ranks() []*dram.Rank { return c.p.Ranks }
+
+// Stats returns the counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// QueueLen reports the current MRQ occupancy.
+func (c *Controller) QueueLen() int { return c.queue.Len() }
+
+// Full reports whether Submit would fail.
+func (c *Controller) Full() bool { return c.queue.Full() }
+
+// wbReserve is the number of MRQ slots writebacks may never occupy,
+// keeping read requests admissible under write bursts.
+const wbReserve = 2
+
+// Submit enqueues a request. It returns false when the MRQ is full (or,
+// for writebacks, nearly full); the caller must retry later.
+func (c *Controller) Submit(r *mem.Request, now sim.Cycle) bool {
+	if r.Kind == mem.Write || r.Kind == mem.Writeback {
+		if c.queue.Cap() > wbReserve && c.queue.Len() >= c.queue.Cap()-wbReserve {
+			c.stats.Rejected++
+			return false
+		}
+	}
+	if !c.queue.Push(r) {
+		c.stats.Rejected++
+		return false
+	}
+	r.Issued = now
+	c.stats.Submitted++
+	return true
+}
+
+// pick selects the next request index to schedule, or -1.
+//
+// FR-FCFS with read priority: oldest ready row-hit read, then oldest
+// ready read, then oldest ready row-hit write, then oldest ready write.
+// Reads sit on the cores' critical paths; writebacks only need to drain
+// eventually, so letting them hog banks ahead of reads would starve the
+// MSHRs above. FIFO mode schedules only the head (head-of-line blocking
+// — the behaviour the paper's scheduler assumption avoids).
+func (c *Controller) pick(now sim.Cycle) int {
+	if c.queue.Empty() {
+		return -1
+	}
+	if !c.p.FRFCFS {
+		r := c.queue.At(0)
+		loc := c.p.AMap.Decode(r.Line)
+		if bk := c.bank(loc); bk.Ready(now) {
+			return 0
+		}
+		return -1
+	}
+	read, rowHitWrite, write := -1, -1, -1
+	for i := 0; i < c.queue.Len(); i++ {
+		r := c.queue.At(i)
+		loc := c.p.AMap.Decode(r.Line)
+		bk := c.bank(loc)
+		if !bk.Ready(now) {
+			continue
+		}
+		isWrite := r.Kind == mem.Write || r.Kind == mem.Writeback
+		hit := bk.HasRow(loc.Row)
+		switch {
+		case !isWrite && hit:
+			return i // oldest ready row-hit read: best possible
+		case !isWrite:
+			if read < 0 {
+				read = i
+			}
+		case hit:
+			if rowHitWrite < 0 {
+				rowHitWrite = i
+			}
+		default:
+			if write < 0 {
+				write = i
+			}
+		}
+	}
+	if read >= 0 {
+		return read
+	}
+	if rowHitWrite >= 0 {
+		return rowHitWrite
+	}
+	return write
+}
+
+func (c *Controller) bank(loc mem.Loc) *dram.Bank {
+	return c.p.Ranks[loc.Rank].Banks[loc.Bank]
+}
+
+// Tick advances the controller one CPU cycle: refresh logic runs every
+// cycle, completions are delivered at their exact cycle, and one new
+// command is scheduled on each controller-clock edge.
+func (c *Controller) Tick(now sim.Cycle) {
+	for _, rk := range c.p.Ranks {
+		rk.Tick(now)
+	}
+	c.done.FireDue(now)
+	if !c.p.Divider.Edge(now) {
+		return
+	}
+	i := c.pick(now)
+	if i < 0 {
+		return
+	}
+	r := c.queue.RemoveAt(i)
+	c.stats.QueueCycles += uint64(now - r.Issued)
+	loc := c.p.AMap.Decode(r.Line)
+	bk := c.bank(loc)
+	write := r.Kind == mem.Write || r.Kind == mem.Writeback
+	dataAt, rowHit := bk.Access(now, loc.Row, write)
+	c.p.Ranks[loc.Rank].Touch(loc.Bank, loc.Row, now)
+	r.RowHit = rowHit
+	if rowHit {
+		c.stats.RowHits++
+	}
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	// The line crosses the channel data bus once the array delivers (or,
+	// for writes, symmetric occupancy to carry the data in).
+	start, end := c.p.DataBus.Reserve(dataAt, c.p.LineBytes)
+	if c.p.CriticalWordFirst && !write {
+		// The demand word leads the burst: the requester restarts after
+		// the first beat even though the tail still occupies the bus.
+		word := c.p.WordBytes
+		if word <= 0 {
+			word = 8
+		}
+		if early := start + c.p.DataBus.TransferCycles(word); early < end {
+			end = early
+		}
+	}
+	req := r
+	c.done.At(end, func() {
+		c.stats.Completed++
+		if c.p.Respond != nil {
+			c.p.Respond(req, end)
+		}
+	})
+}
+
+// ResetStats zeroes the counters (end of warmup).
+func (c *Controller) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,121 @@
+package mshr
+
+import (
+	"fmt"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/mem"
+)
+
+// Hierarchical implements the Tuck et al. MSHR organization the paper
+// discusses (and rejects for its banked L2): several small first-level
+// banks accessed in parallel for bandwidth, backed by a larger shared
+// second-level file that provides spare capacity when one bank
+// overflows.
+//
+// The paper's objection is physical, not functional: in the Figure 5
+// floorplan every MSHR bank routes only to its own memory controller,
+// whereas a shared overflow structure would need paths from all banks to
+// all MCs, breaking the streamlined vertical slices. It remains "a
+// reasonable match for a single-MC organization", which is what this
+// type models; it is exercised by the comparison benchmarks rather than
+// wired into the Figure 5 L2.
+type Hierarchical struct {
+	banks  []*File
+	shared *File
+	origin map[*Entry]*File
+
+	// Overflows counts allocations that spilled to the shared file.
+	Overflows uint64
+}
+
+// NewHierarchical builds nBanks first-level banks of perBank entries
+// over a sharedCap-entry second level.
+func NewHierarchical(nBanks, perBank, sharedCap int) *Hierarchical {
+	if nBanks < 1 || perBank < 1 || sharedCap < 1 {
+		panic(fmt.Sprintf("mshr: hierarchical geometry %d x %d + %d invalid", nBanks, perBank, sharedCap))
+	}
+	h := &Hierarchical{
+		shared: New(config.MSHRIdealCAM, sharedCap),
+		origin: make(map[*Entry]*File),
+	}
+	for i := 0; i < nBanks; i++ {
+		h.banks = append(h.banks, New(config.MSHRIdealCAM, perBank))
+	}
+	return h
+}
+
+// Cap reports total entries across both levels.
+func (h *Hierarchical) Cap() int {
+	return len(h.banks)*h.banks[0].Cap() + h.shared.Cap()
+}
+
+// Len reports live entries across both levels.
+func (h *Hierarchical) Len() int {
+	n := h.shared.Len()
+	for _, b := range h.banks {
+		n += b.Len()
+	}
+	return n
+}
+
+func (h *Hierarchical) bankFor(line mem.Addr) *File {
+	return h.banks[uint64(line)/64%uint64(len(h.banks))]
+}
+
+// Lookup searches the line's first-level bank and the shared file.
+// probes counts structure accesses: the bank and the shared file are
+// checked in parallel in hardware, so a hit costs 1 and a miss costs 1.
+func (h *Hierarchical) Lookup(line mem.Addr) (e *Entry, probes int, found bool) {
+	if e, _, found = h.bankFor(line).Lookup(line); found {
+		return e, 1, true
+	}
+	if e, _, found = h.shared.Lookup(line); found {
+		return e, 1, true
+	}
+	return nil, 1, false
+}
+
+// Allocate places the line in its first-level bank, spilling to the
+// shared file when the bank is full.
+func (h *Hierarchical) Allocate(line mem.Addr, r *mem.Request) (*Entry, bool) {
+	b := h.bankFor(line)
+	if e, ok := b.Allocate(line, r); ok {
+		h.origin[e] = b
+		return e, true
+	}
+	if e, ok := h.shared.Allocate(line, r); ok {
+		h.Overflows++
+		h.origin[e] = h.shared
+		return e, true
+	}
+	return nil, false
+}
+
+// Full reports whether an allocation could fail for some address: true
+// only when the shared file is exhausted (an individual full bank can
+// still spill).
+func (h *Hierarchical) Full() bool { return h.shared.Full() }
+
+// Release frees the entry from whichever level holds it.
+func (h *Hierarchical) Release(e *Entry) {
+	f, ok := h.origin[e]
+	if !ok {
+		panic("mshr: Release of entry foreign to this hierarchical file")
+	}
+	delete(h.origin, e)
+	f.Release(e)
+}
+
+// OverflowRate reports the fraction of allocations that spilled.
+func (h *Hierarchical) OverflowRate() float64 {
+	var allocs uint64
+	for _, b := range h.banks {
+		allocs += b.Stats().Allocs
+	}
+	allocs += h.shared.Stats().Allocs
+	if allocs == 0 {
+		return 0
+	}
+	return float64(h.Overflows) / float64(allocs)
+}

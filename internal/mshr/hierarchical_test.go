@@ -1,0 +1,170 @@
+package mshr
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/mem"
+)
+
+func TestHierarchicalBasicFlow(t *testing.T) {
+	h := NewHierarchical(4, 2, 8)
+	if h.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", h.Cap())
+	}
+	if _, _, found := h.Lookup(0x1000); found {
+		t.Fatal("lookup in empty file found entry")
+	}
+	r := &mem.Request{ID: 1, Kind: mem.Read, Line: 0x1000}
+	e, ok := h.Allocate(0x1000, r)
+	if !ok || e.Primary() != r {
+		t.Fatal("Allocate failed")
+	}
+	got, probes, found := h.Lookup(0x1000)
+	if !found || got != e || probes != 1 {
+		t.Fatalf("Lookup = %v probes=%d found=%v", got, probes, found)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	h.Release(e)
+	if h.Len() != 0 {
+		t.Fatal("Release did not free")
+	}
+	if _, _, found := h.Lookup(0x1000); found {
+		t.Fatal("released entry still found")
+	}
+}
+
+func TestHierarchicalOverflowToShared(t *testing.T) {
+	h := NewHierarchical(2, 1, 4)
+	// Two lines mapping to the same first-level bank: lines 0 and 0x80
+	// (line numbers 0 and 2, both even -> bank 0).
+	if _, ok := h.Allocate(0x0, nil); !ok {
+		t.Fatal("first allocation failed")
+	}
+	e2, ok := h.Allocate(0x80, nil)
+	if !ok {
+		t.Fatal("overflow allocation failed")
+	}
+	if h.Overflows != 1 {
+		t.Fatalf("Overflows = %d, want 1", h.Overflows)
+	}
+	// The spilled entry is still findable.
+	if _, _, found := h.Lookup(0x80); !found {
+		t.Fatal("spilled entry not found")
+	}
+	h.Release(e2)
+	if _, _, found := h.Lookup(0x80); found {
+		t.Fatal("released spilled entry still found")
+	}
+	if h.OverflowRate() == 0 {
+		t.Fatal("OverflowRate not recorded")
+	}
+}
+
+func TestHierarchicalFullOnlyWhenSharedFull(t *testing.T) {
+	h := NewHierarchical(2, 1, 2)
+	// Fill bank 0 and spill twice: shared (2) fills.
+	h.Allocate(0x00, nil)  // bank 0
+	h.Allocate(0x80, nil)  // spill 1
+	h.Allocate(0x100, nil) // spill 2
+	if !h.Full() {
+		t.Fatal("Full() = false with shared exhausted")
+	}
+	// A line for bank 1 (odd line number) still fits in its bank.
+	if _, ok := h.Allocate(0x40, nil); !ok {
+		t.Fatal("bank-1 allocation failed despite free bank entry")
+	}
+	// But another bank-0 line cannot go anywhere.
+	if _, ok := h.Allocate(0x180, nil); ok {
+		t.Fatal("allocation succeeded with bank and shared full")
+	}
+}
+
+func TestHierarchicalReleaseForeignPanics(t *testing.T) {
+	h := NewHierarchical(2, 1, 2)
+	other := New(config.MSHRIdealCAM, 4)
+	e, _ := other.Allocate(0x40, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign Release did not panic")
+		}
+	}()
+	h.Release(e)
+}
+
+func TestHierarchicalGeometryPanics(t *testing.T) {
+	for _, g := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", g)
+				}
+			}()
+			NewHierarchical(g[0], g[1], g[2])
+		}()
+	}
+}
+
+// TestHierarchicalVsVBFCapacityBehaviour contrasts the two scalable MHA
+// designs under a skewed miss stream: the hierarchical file absorbs
+// bank-local bursts in its shared level, while the banked-VBF design of
+// the paper relies on raw per-bank capacity. Both must never lose or
+// duplicate entries.
+func TestHierarchicalVsVBFCapacityBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHierarchical(4, 4, 16) // 32 total
+	v := New(config.MSHRVBF, 32)   // 32 total, one bank
+	live := map[mem.Addr][2]*Entry{}
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(2) == 0 {
+			// Bursty line addresses: 75% land in one bank.
+			ln := mem.Addr(rng.Intn(64)) * 64 * 4
+			if rng.Intn(4) == 0 {
+				ln += 64
+			}
+			if _, dup := live[ln]; dup {
+				continue
+			}
+			he, hok := h.Allocate(ln, nil)
+			ve, vok := v.Allocate(ln, nil)
+			switch {
+			case hok && vok:
+				live[ln] = [2]*Entry{he, ve}
+			case hok:
+				h.Release(he)
+			case vok:
+				v.Release(ve)
+			}
+		} else {
+			for ln, es := range live {
+				h.Release(es[0])
+				v.Release(es[1])
+				delete(live, ln)
+				break
+			}
+		}
+		// Both structures agree with the shadow map.
+		for ln := range live {
+			if _, _, found := h.Lookup(ln); !found {
+				t.Fatalf("hierarchical lost line %#x", uint64(ln))
+			}
+			if _, _, found := v.Lookup(ln); !found {
+				t.Fatalf("vbf lost line %#x", uint64(ln))
+			}
+		}
+	}
+}
+
+func BenchmarkHierarchicalLookup(b *testing.B) {
+	h := NewHierarchical(4, 4, 16)
+	for i := 0; i < 24; i++ {
+		h.Allocate(mem.Addr(i*64), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lookup(mem.Addr((i % 32) * 64))
+	}
+}

@@ -1,0 +1,178 @@
+// Package mshr implements the miss-status handling register files of the
+// paper: the idealized fully-associative CAM, the direct-mapped table with
+// linear probing, and the Vector-Bloom-Filter-accelerated table of
+// Section 5, plus the sampling-based dynamic capacity tuner.
+//
+// All three kinds share the same storage (a vbf.Table, which is a correct
+// associative store), so hit/miss behaviour and merging are identical
+// across kinds; only the probe-count accounting — and therefore the
+// simulated lookup latency — differs. This mirrors the paper, where the
+// VBF design targets the latency/scalability of the structure, not its
+// semantics.
+package mshr
+
+import (
+	"fmt"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/stats"
+	"stackedsim/internal/vbf"
+)
+
+// Entry tracks one outstanding miss line and the requests merged into it.
+type Entry struct {
+	Line    mem.Addr
+	slot    int
+	Waiters []*mem.Request // all requests for this line, primary first
+	Issued  bool           // sent to the memory controller
+	Dirty   bool           // a merged write must leave the line dirty
+}
+
+// Primary returns the request that allocated the entry.
+func (e *Entry) Primary() *mem.Request {
+	if len(e.Waiters) == 0 {
+		return nil
+	}
+	return e.Waiters[0]
+}
+
+// Merge attaches a secondary miss.
+func (e *Entry) Merge(r *mem.Request) {
+	e.Waiters = append(e.Waiters, r)
+	if r.Kind == mem.Write {
+		e.Dirty = true
+	}
+}
+
+// Stats aggregates File counters.
+type Stats struct {
+	Accesses    uint64 // lookups
+	Hits        uint64 // lookups that matched a live entry (merges)
+	Allocs      uint64
+	AllocFails  uint64 // allocation attempts rejected (structure full)
+	Releases    uint64 // entries freed
+	Probes      uint64 // total entry probes across lookups
+	ProbeCounts *stats.Histogram
+}
+
+// ProbesPerAccess reports mean probes per lookup — the §5.2 metric
+// (2.31 dual-MC, 2.21 quad-MC in the paper).
+func (s *Stats) ProbesPerAccess() float64 { return stats.Ratio(s.Probes, s.Accesses) }
+
+// File is one MSHR bank.
+type File struct {
+	kind    config.MSHRKind
+	table   *vbf.Table
+	entries []*Entry // indexed by table slot
+	byLine  int      // live count (mirrors table)
+	stats   Stats
+}
+
+// New returns an empty MSHR bank of the given kind and capacity.
+func New(kind config.MSHRKind, capacity int) *File {
+	if capacity < 1 {
+		panic(fmt.Sprintf("mshr: capacity %d must be >= 1", capacity))
+	}
+	return &File{
+		kind:    kind,
+		table:   vbf.NewTable(capacity),
+		entries: make([]*Entry, capacity),
+		stats:   Stats{ProbeCounts: stats.NewHistogram(capacity + 1)},
+	}
+}
+
+// Kind reports the implementation kind.
+func (f *File) Kind() config.MSHRKind { return f.kind }
+
+// Cap reports total entries.
+func (f *File) Cap() int { return f.table.Cap() }
+
+// Limit reports the active capacity.
+func (f *File) Limit() int { return f.table.Limit() }
+
+// SetLimit adjusts the active capacity (dynamic tuning).
+func (f *File) SetLimit(n int) { f.table.SetLimit(n) }
+
+// Len reports live entries.
+func (f *File) Len() int { return f.table.Len() }
+
+// Full reports whether Allocate would fail.
+func (f *File) Full() bool { return f.table.Full() }
+
+// Stats returns a snapshot pointer (read-only use intended).
+func (f *File) Stats() *Stats { return &f.stats }
+
+// key converts a line address to the table key. Low bits below the line
+// offset are already stripped by the caller; dividing by the line size
+// spreads consecutive lines across consecutive slots, matching the mod-N
+// indexing of the paper's example.
+func key(line mem.Addr) uint64 { return uint64(line) / 64 }
+
+// Lookup searches for line. probes is the simulated entry-access count:
+// always 1 for the ideal CAM, the filtered walk for VBF, and the full
+// linear scan otherwise.
+func (f *File) Lookup(line mem.Addr) (e *Entry, probes int, found bool) {
+	var slot int
+	switch f.kind {
+	case config.MSHRIdealCAM:
+		slot, _, found = f.table.Search(key(line))
+		probes = 1
+	case config.MSHRVBF:
+		slot, probes, found = f.table.Search(key(line))
+	case config.MSHRLinearProbe:
+		slot, probes, found = f.table.SearchLinear(key(line))
+	default:
+		panic(fmt.Sprintf("mshr: unknown kind %v", f.kind))
+	}
+	f.stats.Accesses++
+	f.stats.Probes += uint64(probes)
+	f.stats.ProbeCounts.Add(probes)
+	if !found {
+		return nil, probes, false
+	}
+	f.stats.Hits++
+	return f.entries[slot], probes, true
+}
+
+// Allocate creates an entry for line with r as the primary miss. The
+// caller must have established via Lookup that the line is absent.
+func (f *File) Allocate(line mem.Addr, r *mem.Request) (*Entry, bool) {
+	slot, ok := f.table.Allocate(key(line))
+	if !ok {
+		f.stats.AllocFails++
+		return nil, false
+	}
+	f.stats.Allocs++
+	e := &Entry{Line: line, slot: slot}
+	if r != nil {
+		e.Merge(r)
+	}
+	f.entries[slot] = e
+	return e, true
+}
+
+// Release frees the entry (after its fill completed and waiters were
+// serviced).
+func (f *File) Release(e *Entry) {
+	if f.entries[e.slot] != e {
+		panic(fmt.Sprintf("mshr: Release of stale entry for line %#x", uint64(e.Line)))
+	}
+	f.table.Free(e.slot)
+	f.entries[e.slot] = nil
+	f.stats.Releases++
+}
+
+// ForEach visits every live entry (slot order).
+func (f *File) ForEach(fn func(*Entry)) {
+	for _, e := range f.entries {
+		if e != nil {
+			fn(e)
+		}
+	}
+}
+
+// ResetStats zeroes the counters (end of warmup).
+func (f *File) ResetStats() {
+	f.stats = Stats{ProbeCounts: stats.NewHistogram(f.Cap() + 1)}
+}

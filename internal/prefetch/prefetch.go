@@ -1,0 +1,72 @@
+// Package prefetch implements the hardware prefetchers of Table 1:
+// next-line prefetching (IL1/DL1/L2) and the IP-based stride prefetcher
+// (DL1/L2) in the style of Intel's Smart Memory Access.
+package prefetch
+
+import (
+	"fmt"
+
+	"stackedsim/internal/mem"
+)
+
+// NextLine returns the line-aligned address immediately following the
+// line containing addr.
+func NextLine(addr mem.Addr, lineBytes int) mem.Addr {
+	return (addr &^ mem.Addr(lineBytes-1)) + mem.Addr(lineBytes)
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   mem.Addr
+	stride int64
+	conf   int8
+	valid  bool
+}
+
+// confThreshold is the confidence at which predictions are emitted.
+const confThreshold = 2
+
+// Stride is an IP-indexed stride predictor: a direct-mapped table keyed
+// by load PC that learns a per-instruction stride and, once confident,
+// predicts the next address.
+type Stride struct {
+	entries []strideEntry
+	// Trained counts observations that produced a prediction.
+	Trained uint64
+}
+
+// NewStride returns a predictor with the given table size.
+func NewStride(entries int) *Stride {
+	if entries < 1 {
+		panic(fmt.Sprintf("prefetch: stride table size %d must be >= 1", entries))
+	}
+	return &Stride{entries: make([]strideEntry, entries)}
+}
+
+// Observe records one access by the load at pc and, when the entry is
+// confident, returns the predicted next address.
+func (s *Stride) Observe(pc uint64, addr mem.Addr) (next mem.Addr, ok bool) {
+	e := &s.entries[pc%uint64(len(s.entries))]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr, valid: true}
+		return 0, false
+	}
+	stride := int64(addr) - int64(e.last)
+	e.last = addr
+	if stride == 0 {
+		return 0, false
+	}
+	if stride == e.stride {
+		if e.conf < confThreshold {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	if e.conf >= confThreshold {
+		s.Trained++
+		return mem.Addr(int64(addr) + stride), true
+	}
+	return 0, false
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "container/heap"
+
+// event is a pending callback scheduled for a cycle. seq breaks ties so
+// events scheduled earlier fire earlier within the same cycle.
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// EventQueue is a deterministic time-ordered queue of callbacks.
+//
+// Events scheduled for the same cycle fire in the order they were
+// scheduled. The zero value is ready to use.
+type EventQueue struct {
+	heap eventHeap
+	seq  uint64
+}
+
+// At schedules f to run when FireDue is called with a cycle >= c.
+func (q *EventQueue) At(c Cycle, f func()) {
+	if f == nil {
+		panic("sim: EventQueue.At called with nil func")
+	}
+	q.seq++
+	heap.Push(&q.heap, event{at: c, seq: q.seq, fn: f})
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// NextAt reports the cycle of the earliest pending event, or ok=false if
+// the queue is empty.
+func (q *EventQueue) NextAt() (c Cycle, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap.peek().at, true
+}
+
+// FireDue runs, in order, every event scheduled at or before now.
+func (q *EventQueue) FireDue(now Cycle) {
+	for len(q.heap) > 0 && q.heap.peek().at <= now {
+		e := heap.Pop(&q.heap).(event)
+		e.fn()
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+// Queue is a bounded FIFO used for request queues throughout the memory
+// hierarchy. A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	items []T
+	cap   int
+}
+
+// NewQueue returns a FIFO bounded to capacity items (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap reports the capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Full reports whether the queue cannot accept another item.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// Empty reports whether the queue has no items.
+func (q *Queue[T]) Empty() bool { return len(q.items) == 0 }
+
+// Push appends item and reports whether it was accepted.
+func (q *Queue[T]) Push(item T) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, item)
+	return true
+}
+
+// Pop removes and returns the oldest item; ok is false if empty.
+func (q *Queue[T]) Pop() (item T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	// Shift rather than re-slice so the backing array does not grow
+	// without bound under steady-state traffic.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// Peek returns the oldest item without removing it; ok is false if empty.
+func (q *Queue[T]) Peek() (item T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// At returns the i-th oldest item (0 = front). It panics if out of range.
+func (q *Queue[T]) At(i int) T { return q.items[i] }
+
+// RemoveAt removes and returns the i-th oldest item. It panics if out of
+// range. Used by out-of-order schedulers (e.g. FR-FCFS).
+func (q *Queue[T]) RemoveAt(i int) T {
+	item := q.items[i]
+	copy(q.items[i:], q.items[i+1:])
+	q.items = q.items[:len(q.items)-1]
+	return item
+}
+
+// Clear discards all items.
+func (q *Queue[T]) Clear() { q.items = q.items[:0] }
+
+// Delay models a fixed-latency pipe: items pushed at cycle t become
+// visible to Pop at cycle t+latency. It is used for wire/pipeline delays
+// such as the L2 access latency and the vertical TSV bus hop.
+type Delay[T any] struct {
+	latency Cycle
+	items   []delayed[T]
+}
+
+type delayed[T any] struct {
+	ready Cycle
+	item  T
+}
+
+// NewDelay returns a pipe with the given latency in cycles.
+func NewDelay[T any](latency Cycle) *Delay[T] {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Delay[T]{latency: latency}
+}
+
+// Latency reports the pipe latency.
+func (d *Delay[T]) Latency() Cycle { return d.latency }
+
+// Len reports the number of in-flight items.
+func (d *Delay[T]) Len() int { return len(d.items) }
+
+// Push inserts item at cycle now; it becomes visible at now+latency.
+func (d *Delay[T]) Push(now Cycle, item T) {
+	d.items = append(d.items, delayed[T]{ready: now + d.latency, item: item})
+}
+
+// PushAt inserts item to become visible at the explicit cycle ready.
+func (d *Delay[T]) PushAt(ready Cycle, item T) {
+	d.items = append(d.items, delayed[T]{ready: ready, item: item})
+}
+
+// Pop removes and returns the oldest item that is ready at cycle now.
+func (d *Delay[T]) Pop(now Cycle) (item T, ok bool) {
+	if len(d.items) == 0 || d.items[0].ready > now {
+		var zero T
+		return zero, false
+	}
+	item = d.items[0].item
+	copy(d.items, d.items[1:])
+	d.items = d.items[:len(d.items)-1]
+	return item, true
+}

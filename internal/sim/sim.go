@@ -1,0 +1,94 @@
+// Package sim provides the cycle-level simulation engine that drives every
+// component in stackedsim.
+//
+// The engine uses a single global clock expressed in CPU cycles. Slower
+// clock domains (the front-side bus, the DRAM command clock) are modeled
+// with integer dividers: a component in a slower domain only acts on cycles
+// where its domain has a rising edge. This mirrors the paper's methodology,
+// where all DRAM timing parameters are rounded up to integral multiples of
+// the CPU cycle time.
+//
+// All simulation is deterministic and single-threaded: components are
+// ticked in registration order, and any cross-component communication
+// happens through explicit queues, so a given configuration and workload
+// seed always produces the same result.
+package sim
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle int64
+
+// Ticker is a component driven once per CPU cycle by the Engine.
+//
+// Tick is called with the current cycle. Components must not assume any
+// particular ordering relative to other components beyond the order in
+// which they were registered.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// Engine drives registered tickers, one call per component per cycle.
+//
+// The zero value is ready to use.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+	events  EventQueue
+}
+
+// NewEngine returns an empty engine at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends t to the tick order. Components registered earlier tick
+// earlier within each cycle.
+func (e *Engine) Register(t Ticker) {
+	if t == nil {
+		panic("sim: Register called with nil Ticker")
+	}
+	e.tickers = append(e.tickers, t)
+}
+
+// Now reports the current cycle. During a Tick callback this is the cycle
+// being simulated.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs f at cycle c. If c is not after the current cycle, f runs
+// at the start of the next Step.
+func (e *Engine) Schedule(c Cycle, f func()) { e.events.At(c, f) }
+
+// After runs f d cycles after the current cycle.
+func (e *Engine) After(d Cycle, f func()) { e.events.At(e.now+d, f) }
+
+// Step advances simulated time by one cycle: due events fire first, then
+// every registered ticker runs once.
+func (e *Engine) Step() {
+	e.now++
+	e.events.FireDue(e.now)
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+}
+
+// Run advances the simulation by n cycles.
+func (e *Engine) Run(n Cycle) {
+	for i := Cycle(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil steps the simulation until done() reports true or max cycles
+// have elapsed, and returns the number of cycles stepped.
+func (e *Engine) RunUntil(done func() bool, max Cycle) Cycle {
+	for i := Cycle(0); i < max; i++ {
+		if done() {
+			return i
+		}
+		e.Step()
+	}
+	return max
+}

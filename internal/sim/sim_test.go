@@ -1,0 +1,275 @@
+package sim
+
+import "testing"
+
+func TestEngineTickOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Register(TickFunc(func(Cycle) { order = append(order, 1) }))
+	e.Register(TickFunc(func(Cycle) { order = append(order, 2) }))
+	e.Step()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tick order = %v, want [1 2]", order)
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine()
+	var seen []Cycle
+	e.Register(TickFunc(func(now Cycle) { seen = append(seen, now) }))
+	e.Run(3)
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %d, want 3", e.Now())
+	}
+	want := []Cycle{1, 2, 3}
+	for i, c := range want {
+		if seen[i] != c {
+			t.Fatalf("seen[%d] = %d, want %d", i, seen[i], c)
+		}
+	}
+}
+
+func TestEngineRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	NewEngine().Register(nil)
+}
+
+func TestEngineScheduleFiresBeforeTicks(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register(TickFunc(func(Cycle) { order = append(order, "tick") }))
+	e.Schedule(1, func() { order = append(order, "event") })
+	e.Step()
+	if order[0] != "event" || order[1] != "tick" {
+		t.Fatalf("order = %v, want [event tick]", order)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	fired := Cycle(-1)
+	e.Run(5)
+	e.After(3, func() { fired = e.Now() })
+	e.Run(5)
+	if fired != 8 {
+		t.Fatalf("After(3) fired at %d, want 8", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register(TickFunc(func(Cycle) { count++ }))
+	n := e.RunUntil(func() bool { return count >= 4 }, 100)
+	if n != 4 {
+		t.Fatalf("RunUntil returned %d, want 4", n)
+	}
+	n = e.RunUntil(func() bool { return false }, 10)
+	if n != 10 {
+		t.Fatalf("RunUntil(never) returned %d, want 10 (max)", n)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var order []int
+	q.At(5, func() { order = append(order, 5) })
+	q.At(3, func() { order = append(order, 3) })
+	q.At(3, func() { order = append(order, 30) }) // same-cycle: FIFO
+	q.At(4, func() { order = append(order, 4) })
+	q.FireDue(4)
+	want := []int{3, 30, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", q.Len())
+	}
+	if at, ok := q.NextAt(); !ok || at != 5 {
+		t.Fatalf("NextAt() = %d,%v want 5,true", at, ok)
+	}
+	q.FireDue(10)
+	if q.Len() != 0 {
+		t.Fatalf("Len() after drain = %d, want 0", q.Len())
+	}
+}
+
+func TestEventQueueNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	var q EventQueue
+	q.At(1, nil)
+}
+
+func TestDividerEdges(t *testing.T) {
+	d := NewDivider(4)
+	edges := 0
+	for c := Cycle(0); c < 16; c++ {
+		if d.Edge(c) {
+			edges++
+		}
+	}
+	if edges != 4 {
+		t.Fatalf("edges in 16 cycles = %d, want 4", edges)
+	}
+	if d.ToCPU(3) != 12 {
+		t.Fatalf("ToCPU(3) = %d, want 12", d.ToCPU(3))
+	}
+	if got := d.NextEdge(5); got != 8 {
+		t.Fatalf("NextEdge(5) = %d, want 8", got)
+	}
+	if got := d.NextEdge(8); got != 8 {
+		t.Fatalf("NextEdge(8) = %d, want 8", got)
+	}
+}
+
+func TestDividerClampsRatio(t *testing.T) {
+	d := NewDivider(0)
+	if d.Ratio() != 1 {
+		t.Fatalf("Ratio() = %d, want 1", d.Ratio())
+	}
+	if !d.Edge(7) {
+		t.Fatal("ratio-1 divider should have an edge every cycle")
+	}
+}
+
+func TestCyclesForNanosRoundsUp(t *testing.T) {
+	// 36ns at 3333.3 MHz = 120 cycles exactly (within float tolerance).
+	if got := CyclesForNanos(36, 3333.3); got != 120 && got != 121 {
+		t.Fatalf("CyclesForNanos(36, 3333.3) = %d, want 120 or 121", got)
+	}
+	// 12ns at 3333.3 MHz = 40.0 -> 40.
+	if got := CyclesForNanos(12, 3333.3); got != 40 && got != 41 {
+		t.Fatalf("CyclesForNanos(12, 3333.3) = %d, want 40 or 41", got)
+	}
+	// A fractional result must round up, never down: 1ns @ 1500MHz = 1.5.
+	if got := CyclesForNanos(1, 1500); got != 2 {
+		t.Fatalf("CyclesForNanos(1, 1500) = %d, want 2", got)
+	}
+	if got := CyclesForNanos(0, 1000); got != 0 {
+		t.Fatalf("CyclesForNanos(0, 1000) = %d, want 0", got)
+	}
+}
+
+func TestPicosPerCycle(t *testing.T) {
+	if got := PicosPerCycle(1000); got != 1000 {
+		t.Fatalf("PicosPerCycle(1000MHz) = %d, want 1000", got)
+	}
+	if got := PicosPerCycle(0); got != 0 {
+		t.Fatalf("PicosPerCycle(0) = %d, want 0", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](3)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) rejected", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatal("Push beyond capacity accepted")
+	}
+	if !q.Full() {
+		t.Fatal("Full() = false, want true")
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek() = %d,%v want 1,true", v, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop() = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop() on empty queue succeeded")
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 100; i++ {
+		if !q.Push(i) {
+			t.Fatalf("unbounded Push(%d) rejected", i)
+		}
+	}
+	if q.Full() {
+		t.Fatal("unbounded queue reports Full")
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", q.Len())
+	}
+}
+
+func TestQueueRemoveAt(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if got := q.RemoveAt(2); got != 2 {
+		t.Fatalf("RemoveAt(2) = %d, want 2", got)
+	}
+	want := []int{0, 1, 3, 4}
+	for i, w := range want {
+		if q.At(i) != w {
+			t.Fatalf("At(%d) = %d, want %d", i, q.At(i), w)
+		}
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	q := NewQueue[string](0)
+	q.Push("a")
+	q.Push("b")
+	q.Clear()
+	if !q.Empty() {
+		t.Fatal("Clear did not empty the queue")
+	}
+}
+
+func TestDelayPipe(t *testing.T) {
+	d := NewDelay[int](3)
+	d.Push(10, 42)
+	if _, ok := d.Pop(12); ok {
+		t.Fatal("item visible before latency elapsed")
+	}
+	v, ok := d.Pop(13)
+	if !ok || v != 42 {
+		t.Fatalf("Pop(13) = %d,%v want 42,true", v, ok)
+	}
+}
+
+func TestDelayOrdering(t *testing.T) {
+	d := NewDelay[int](0)
+	d.PushAt(5, 1)
+	d.PushAt(5, 2)
+	if v, _ := d.Pop(5); v != 1 {
+		t.Fatalf("first Pop = %d, want 1", v)
+	}
+	if v, _ := d.Pop(5); v != 2 {
+		t.Fatalf("second Pop = %d, want 2", v)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", d.Len())
+	}
+}
+
+func TestDelayNegativeLatencyClamped(t *testing.T) {
+	d := NewDelay[int](-5)
+	if d.Latency() != 0 {
+		t.Fatalf("Latency() = %d, want 0", d.Latency())
+	}
+}

@@ -1,0 +1,122 @@
+// Package thermal provides a steady-state one-dimensional RC model of
+// the 3D stack, standing in for the HotSpot analysis the paper performs
+// but omits for space. The qualitative result it must reproduce
+// (Section 2.4): the worst-case temperature anywhere in the DRAM stack
+// stays within the DRAM's rated thermal limit.
+//
+// Heat flows from every layer through the layers below it into the heat
+// sink (Figure 2 topology: sink, then the processor die, then the DRAM
+// layers). In steady state the temperature rise across each interface is
+// the interface's thermal resistance times the total power flowing
+// through it — the power dissipated at or above that interface.
+package thermal
+
+import "fmt"
+
+// Layer is one die in the stack, ordered from the heat sink upward.
+type Layer struct {
+	Name   string
+	PowerW float64
+}
+
+// Stack is a 1D thermal series network.
+type Stack struct {
+	Layers []Layer
+	// RSinkKPerW is the sink+spreader resistance to ambient.
+	RSinkKPerW float64
+	// RLayerKPerW is the bulk+bond resistance between adjacent layers.
+	// Thinned wafers (10-100um) keep this small.
+	RLayerKPerW float64
+	// AmbientC is the ambient temperature.
+	AmbientC float64
+}
+
+// DRAMThermalLimitC is the maximum operating temperature of the Samsung
+// DDR2 parts the paper bases its memory on (85C standard rating; the
+// paper compensates for on-stack heat with a 32ms refresh).
+const DRAMThermalLimitC = 85.0
+
+// NewCPUDRAMStack builds the paper's stack: one processor die against
+// the heat sink with dramLayers DRAM dies above it (plus one peripheral
+// logic die for the true-3D organization when logicLayer is set).
+func NewCPUDRAMStack(dramLayers int, cpuPowerW, dramPowerPerLayerW float64, logicLayer bool) *Stack {
+	if dramLayers < 1 {
+		panic(fmt.Sprintf("thermal: %d DRAM layers", dramLayers))
+	}
+	s := &Stack{
+		RSinkKPerW:  0.25, // high-end heat sink + spreader
+		RLayerKPerW: 0.08, // thinned die + thermocompression bond
+		AmbientC:    45,   // in-case ambient
+	}
+	s.Layers = append(s.Layers, Layer{Name: "cpu", PowerW: cpuPowerW})
+	if logicLayer {
+		s.Layers = append(s.Layers, Layer{Name: "dram-logic", PowerW: dramPowerPerLayerW})
+	}
+	for i := 0; i < dramLayers; i++ {
+		s.Layers = append(s.Layers, Layer{Name: fmt.Sprintf("dram%d", i), PowerW: dramPowerPerLayerW})
+	}
+	return s
+}
+
+// TotalPowerW reports the power of the whole stack.
+func (s *Stack) TotalPowerW() float64 {
+	total := 0.0
+	for _, l := range s.Layers {
+		total += l.PowerW
+	}
+	return total
+}
+
+// Temperatures returns the steady-state temperature of each layer in
+// stack order.
+func (s *Stack) Temperatures() []float64 {
+	n := len(s.Layers)
+	temps := make([]float64, n)
+	if n == 0 {
+		return temps
+	}
+	// Power flowing through the interface below layer i = sum of power
+	// at layers i..n-1.
+	above := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		above[i] = above[i+1] + s.Layers[i].PowerW
+	}
+	t := s.AmbientC + s.RSinkKPerW*above[0]
+	temps[0] = t
+	for i := 1; i < n; i++ {
+		t += s.RLayerKPerW * above[i]
+		temps[i] = t
+	}
+	return temps
+}
+
+// MaxDRAMTempC reports the hottest DRAM (or DRAM-logic) layer.
+func (s *Stack) MaxDRAMTempC() float64 {
+	temps := s.Temperatures()
+	max := 0.0
+	for i, l := range s.Layers {
+		if l.Name != "cpu" && temps[i] > max {
+			max = temps[i]
+		}
+	}
+	return max
+}
+
+// WithinDRAMLimit reports whether every DRAM layer stays under the
+// rated limit.
+func (s *Stack) WithinDRAMLimit() bool {
+	return s.MaxDRAMTempC() <= DRAMThermalLimitC
+}
+
+// Report renders a per-layer temperature table.
+func (s *Stack) Report() string {
+	temps := s.Temperatures()
+	out := fmt.Sprintf("stack of %d layers, %.0fW total, ambient %.0fC\n",
+		len(s.Layers), s.TotalPowerW(), s.AmbientC)
+	for i, l := range s.Layers {
+		out += fmt.Sprintf("  %-12s %6.1fW  %6.1fC\n", l.Name, l.PowerW, temps[i])
+	}
+	out += fmt.Sprintf("  worst-case DRAM: %.1fC (limit %.0fC, ok=%v)\n",
+		s.MaxDRAMTempC(), DRAMThermalLimitC, s.WithinDRAMLimit())
+	return out
+}

@@ -1,0 +1,78 @@
+package tlb
+
+import "testing"
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(64, 4)
+	if tb.Access(42) {
+		t.Fatal("hit in empty TLB")
+	}
+	if !tb.Access(42) {
+		t.Fatal("miss after insertion")
+	}
+	s := tb.Stats()
+	if s.Accesses != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", *s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Fatalf("MissRate = %v", s.MissRate())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := New(4, 4) // one set
+	for v := uint64(0); v < 4; v++ {
+		tb.Access(v)
+	}
+	tb.Access(0) // touch 0 so 1 is LRU
+	tb.Access(9) // evicts 1
+	if !tb.Access(0) {
+		t.Fatal("recently used entry evicted")
+	}
+	if tb.Access(1) {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	tb := New(8, 4) // 2 sets
+	// Pages 0 and 1 land in different sets: filling set 0 must not
+	// evict page 1.
+	tb.Access(1)
+	for v := uint64(0); v < 16; v += 2 { // all even pages -> set 0
+		tb.Access(v)
+	}
+	if !tb.Access(1) {
+		t.Fatal("cross-set eviction")
+	}
+}
+
+func TestEmptyWaysPreferredOverEviction(t *testing.T) {
+	tb := New(4, 4)
+	tb.Access(10)
+	tb.Access(20)
+	// Both must still be resident (two empty ways were available).
+	if !tb.Access(10) || !tb.Access(20) {
+		t.Fatal("eviction despite free ways")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct{ e, w int }{{0, 1}, {4, 0}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.e, tc.w)
+				}
+			}()
+			New(tc.e, tc.w)
+		}()
+	}
+}
+
+func TestMissRateEmpty(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty MissRate should be 0")
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"stackedsim/internal/cpu"
+)
+
+// FuzzReader throws arbitrary bytes at the trace parser: it must either
+// reject them with an error or produce a well-formed reader, never
+// panic or hang.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and a few near-misses.
+	var valid bytes.Buffer
+	w, _ := NewWriter(&valid, 3)
+	w.Write(cpu.UOp{Mem: true, VAddr: 0x1234, PC: 7})
+	w.Write(cpu.UOp{Mispredict: true, PC: 8})
+	w.Write(cpu.UOp{Mem: true, Store: true, VAddr: 1 << 40, PC: 9, DependsOnPrev: true})
+	w.Close()
+	f.Add(valid.Bytes())
+	f.Add([]byte(Magic))
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	f.Add(append([]byte(nil), 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must be non-empty and replayable.
+		if r.Len() < 1 {
+			t.Fatal("parsed trace with no μops")
+		}
+		for i := 0; i < r.Len()+2; i++ { // includes wrap-around
+			r.Next()
+		}
+	})
+}
+
+// FuzzRoundTrip checks write→read identity for arbitrary μop fields.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(true, false, false, false, uint64(0x1000), uint64(7))
+	f.Add(false, false, true, true, uint64(0), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, mem, store, dep, mis bool, vaddr, pc uint64) {
+		op := cpu.UOp{Mem: mem, Store: mem && store, DependsOnPrev: dep, Mispredict: mis, PC: pc}
+		if mem {
+			op.VAddr = vaddr
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Next(); got != op {
+			t.Fatalf("round trip %+v != %+v", got, op)
+		}
+	})
+}

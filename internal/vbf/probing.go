@@ -1,0 +1,71 @@
+package vbf
+
+import "fmt"
+
+// Probing selects the collision-resolution sequence of a Table. The
+// paper's footnote 2 reports experimenting with secondary hashing
+// schemes such as quadratic probing to combat miss clustering, finding
+// the VBF made the choice immaterial; both schemes are provided so that
+// the ablation can reproduce that observation.
+type Probing int
+
+const (
+	// LinearProbing visits home, home+1, home+2, ... (the paper's
+	// default).
+	LinearProbing Probing = iota
+	// QuadraticProbing visits home + j(j+1)/2, which permutes the whole
+	// table when its size is a power of two (triangular-number probing).
+	QuadraticProbing
+)
+
+func (p Probing) String() string {
+	switch p {
+	case LinearProbing:
+		return "linear"
+	case QuadraticProbing:
+		return "quadratic"
+	}
+	return fmt.Sprintf("probing(%d)", int(p))
+}
+
+// slotAt returns the table slot visited at probe index j of home h.
+func (p Probing) slotAt(h, j, n int) int {
+	switch p {
+	case QuadraticProbing:
+		return (h + j*(j+1)/2) % n
+	default:
+		return (h + j) % n
+	}
+}
+
+// fullCoverage reports whether the probe sequence is guaranteed to visit
+// every slot of an n-entry table within n probes.
+func (p Probing) fullCoverage(n int) bool {
+	if p == LinearProbing {
+		return true
+	}
+	// Triangular-number probing covers power-of-two tables completely.
+	return n&(n-1) == 0
+}
+
+// NewTableProbing returns an empty table with the given collision
+// resolution. Quadratic probing requires a power-of-two size.
+func NewTableProbing(n int, probing Probing) *Table {
+	if n < 1 {
+		panic(fmt.Sprintf("vbf: table size %d must be >= 1", n))
+	}
+	if !probing.fullCoverage(n) {
+		panic(fmt.Sprintf("vbf: %s probing cannot cover a %d-entry table", probing, n))
+	}
+	return &Table{
+		m:        NewMatrix(n),
+		keys:     make([]uint64, n),
+		occupied: make([]bool, n),
+		probeIdx: make([]int, n),
+		limit:    n,
+		probing:  probing,
+	}
+}
+
+// Probing reports the table's collision-resolution scheme.
+func (t *Table) Probing() Probing { return t.probing }

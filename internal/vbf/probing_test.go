@@ -1,0 +1,155 @@
+package vbf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProbingString(t *testing.T) {
+	if LinearProbing.String() != "linear" || QuadraticProbing.String() != "quadratic" {
+		t.Fatal("probing strings wrong")
+	}
+	if Probing(9).String() != "probing(9)" {
+		t.Fatal("unknown probing string wrong")
+	}
+}
+
+func TestQuadraticSlotSequence(t *testing.T) {
+	// home 3, n 8: offsets 0,1,3,6,10,15,21,28 -> slots 3,4,6,1,5,2,0,7.
+	want := []int{3, 4, 6, 1, 5, 2, 0, 7}
+	for j, w := range want {
+		if got := QuadraticProbing.slotAt(3, j, 8); got != w {
+			t.Fatalf("slotAt(3,%d,8) = %d, want %d", j, got, w)
+		}
+	}
+}
+
+func TestQuadraticCoversPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		seen := make([]bool, n)
+		for j := 0; j < n; j++ {
+			seen[QuadraticProbing.slotAt(0, j, n)] = true
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: slot %d never probed", n, s)
+			}
+		}
+	}
+}
+
+func TestQuadraticRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quadratic table of 12 entries did not panic")
+		}
+	}()
+	NewTableProbing(12, QuadraticProbing)
+}
+
+func TestLinearAcceptsAnySize(t *testing.T) {
+	tb := NewTableProbing(12, LinearProbing)
+	if tb.Probing() != LinearProbing {
+		t.Fatal("Probing() wrong")
+	}
+	for i := 0; i < 12; i++ {
+		if _, ok := tb.Allocate(uint64(i * 12)); !ok { // all home to 0
+			t.Fatalf("Allocate %d failed", i)
+		}
+	}
+	if !tb.Full() {
+		t.Fatal("table not full after n allocations")
+	}
+}
+
+func TestQuadraticTableFullCycle(t *testing.T) {
+	tb := NewTableProbing(16, QuadraticProbing)
+	// All keys home to slot 5: quadratic probing must still place all 16.
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(5 + 16*i)
+		if _, ok := tb.Allocate(keys[i]); !ok {
+			t.Fatalf("Allocate %d failed", i)
+		}
+	}
+	for _, k := range keys {
+		if _, _, found := tb.Search(k); !found {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	// Free and re-search: filter bits must clear correctly despite the
+	// nonlinear slot mapping.
+	slot, _, _ := tb.Search(keys[7])
+	tb.Free(slot)
+	if _, _, found := tb.Search(keys[7]); found {
+		t.Fatal("freed key still found")
+	}
+	for i, k := range keys {
+		if i == 7 {
+			continue
+		}
+		if _, _, found := tb.Search(k); !found {
+			t.Fatalf("unrelated key %d lost after free", k)
+		}
+	}
+}
+
+// TestQuadraticMatchesLinearSemantics drives identical random workloads
+// through linear- and quadratic-probed tables and checks membership
+// always agrees (footnote 2: the scheme choice must not change results).
+func TestQuadraticMatchesLinearSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lin := NewTableProbing(16, LinearProbing)
+		quad := NewTableProbing(16, QuadraticProbing)
+		slots := map[uint64][2]int{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				key := uint64(rng.Intn(48))
+				if _, dup := slots[key]; dup {
+					continue
+				}
+				s1, ok1 := lin.Allocate(key)
+				s2, ok2 := quad.Allocate(key)
+				if ok1 != ok2 {
+					return false
+				}
+				if ok1 {
+					slots[key] = [2]int{s1, s2}
+				}
+			case 1:
+				for key, s := range slots {
+					lin.Free(s[0])
+					quad.Free(s[1])
+					delete(slots, key)
+					break
+				}
+			case 2:
+				key := uint64(rng.Intn(48))
+				_, _, f1 := lin.Search(key)
+				_, _, f2 := quad.Search(key)
+				_, want := slots[key]
+				if f1 != want || f2 != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQuadraticSearchHalfFull(b *testing.B) {
+	tb := NewTableProbing(32, QuadraticProbing)
+	for i := 0; i < 16; i++ {
+		tb.Allocate(uint64(i * 7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Search(uint64((i * 7) % 112))
+	}
+}

@@ -1,0 +1,123 @@
+// Package vbf implements the Vector Bloom Filter, the data structure
+// introduced in Section 5.2 of the paper to make large, direct-mapped L2
+// MSHRs searchable in very few probes.
+//
+// The filter is an N×N bit matrix for an N-entry direct-mapped table with
+// linear probing. Row h summarizes the entries that were allocated with
+// home index h: when an address hashing to h is placed d slots past its
+// home (because of collisions), bit d of row h is set. A search for an
+// address with home h probes entry h while reading row h in parallel; on
+// a mismatch, the set bits of the row enumerate exactly the other slots
+// that could hold an address with this home, in probe order. A '0' bit
+// guarantees absence (no false negatives); a '1' bit may be a different
+// address with the same home (a Bloom-style false positive), in which
+// case probing continues with the next set bit.
+package vbf
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Matrix is the N×N bit table. Row r, column c set means "an entry whose
+// home index is r lives c slots past r (mod N)".
+type Matrix struct {
+	n     int
+	words int // 64-bit words per row
+	bits  []uint64
+}
+
+// NewMatrix returns an n×n matrix (n >= 1).
+func NewMatrix(n int) *Matrix {
+	if n < 1 {
+		panic(fmt.Sprintf("vbf: matrix size %d must be >= 1", n))
+	}
+	words := (n + 63) / 64
+	return &Matrix{n: n, words: words, bits: make([]uint64, n*words)}
+}
+
+// Size reports N.
+func (m *Matrix) Size() int { return m.n }
+
+// Bits reports the total state in bits (the paper notes a 32-entry bank
+// needs only 128 bytes: 32×32 bits).
+func (m *Matrix) Bits() int { return m.n * m.n }
+
+func (m *Matrix) check(row, col int) {
+	if row < 0 || row >= m.n || col < 0 || col >= m.n {
+		panic(fmt.Sprintf("vbf: index (%d,%d) out of range for %d×%d matrix", row, col, m.n, m.n))
+	}
+}
+
+// Set sets bit (row, col).
+func (m *Matrix) Set(row, col int) {
+	m.check(row, col)
+	m.bits[row*m.words+col/64] |= 1 << uint(col%64)
+}
+
+// Clear clears bit (row, col).
+func (m *Matrix) Clear(row, col int) {
+	m.check(row, col)
+	m.bits[row*m.words+col/64] &^= 1 << uint(col%64)
+}
+
+// Get reports bit (row, col).
+func (m *Matrix) Get(row, col int) bool {
+	m.check(row, col)
+	return m.bits[row*m.words+col/64]&(1<<uint(col%64)) != 0
+}
+
+// RowEmpty reports whether row has no set bits — a definite miss for any
+// address with that home, requiring no probing at all beyond the
+// mandatory parallel first access.
+func (m *Matrix) RowEmpty(row int) bool {
+	m.check(row, 0)
+	base := row * m.words
+	for w := 0; w < m.words; w++ {
+		if m.bits[base+w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the smallest set column >= from in row, or ok=false.
+func (m *Matrix) NextSet(row, from int) (col int, ok bool) {
+	m.check(row, 0)
+	if from < 0 {
+		from = 0
+	}
+	base := row * m.words
+	for w := from / 64; w < m.words; w++ {
+		word := m.bits[base+w]
+		if w == from/64 {
+			word &= ^uint64(0) << uint(from%64)
+		}
+		if word != 0 {
+			c := w*64 + bits.TrailingZeros64(word)
+			if c >= m.n {
+				return 0, false
+			}
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// PopRow reports the number of set bits in row.
+func (m *Matrix) PopRow(row int) int {
+	m.check(row, 0)
+	base := row * m.words
+	count := 0
+	for w := 0; w < m.words; w++ {
+		count += bits.OnesCount64(m.bits[base+w])
+	}
+	return count
+}
+
+// Reset clears the whole matrix.
+func (m *Matrix) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stackedsim/internal/cpu"
+)
+
+// Generator synthesizes the μop stream for one benchmark. It implements
+// cpu.UOpSource deterministically for a given (spec, seed) pair.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+
+	// Streaming/strided state: one cursor per stream.
+	streamBase []uint64
+	streamPos  []uint64
+	streamLen  uint64 // bytes per stream
+	nextStream int
+
+	// Mixed state: current sequential run.
+	runAddr uint64
+	runLeft int
+
+	// Pointer-chase state.
+	chaseAddr uint64
+
+	// Hot-ring state: the (1-ColdFrac) share of memory μops walk a
+	// small L1-resident ring, modeling the strong near locality of the
+	// real benchmarks.
+	hotPos   uint64
+	hotBytes uint64
+	coldFrac float64
+
+	// Pending μops for the current "iteration".
+	pending []cpu.UOp
+	pc      uint64 // synthetic PC space
+
+	// Emitted counts μops handed out (tests and trace tools).
+	Emitted uint64
+}
+
+// hotBase places the hot ring far above the cold footprint in the
+// virtual address space.
+const hotBase = uint64(1) << 40
+
+// NewGenerator returns a generator for spec seeded deterministically.
+func NewGenerator(spec Spec, seed int64) *Generator {
+	if spec.Footprint == 0 {
+		panic(fmt.Sprintf("workload %s: zero footprint", spec.Name))
+	}
+	if spec.MemFrac <= 0 || spec.MemFrac > 1 {
+		panic(fmt.Sprintf("workload %s: MemFrac %v out of range", spec.Name, spec.MemFrac))
+	}
+	g := &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed ^ int64(len(spec.Name))<<32)),
+	}
+	streams := spec.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	g.streamLen = spec.Footprint / uint64(streams)
+	for s := 0; s < streams; s++ {
+		g.streamBase = append(g.streamBase, uint64(s)*g.streamLen)
+		g.streamPos = append(g.streamPos, 0)
+	}
+	g.chaseAddr = g.randomLine()
+	g.runAddr = 0
+	g.hotBytes = spec.EffectiveHotBytes()
+	g.coldFrac = spec.EffectiveColdFrac()
+	return g
+}
+
+// Spec returns the generator's benchmark spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Next implements cpu.UOpSource.
+func (g *Generator) Next() cpu.UOp {
+	if len(g.pending) == 0 {
+		g.refill()
+	}
+	op := g.pending[0]
+	g.pending = g.pending[1:]
+	g.Emitted++
+	return op
+}
+
+// refill generates one iteration: a batch of memory μops according to the
+// pattern, interleaved with the filler compute μops implied by MemFrac
+// and the occasional mispredicted branch.
+func (g *Generator) refill() {
+	memOps := g.memBatch()
+	fillPerMem := (1 - g.spec.MemFrac) / g.spec.MemFrac
+	carry := 0.0
+	for _, m := range memOps {
+		g.pending = append(g.pending, m)
+		carry += fillPerMem
+		for carry >= 1 {
+			carry--
+			g.pending = append(g.pending, g.filler())
+		}
+	}
+	if len(g.pending) == 0 {
+		g.pending = append(g.pending, g.filler())
+	}
+}
+
+// filler returns a compute μop, occasionally a mispredicted branch.
+func (g *Generator) filler() cpu.UOp {
+	op := cpu.UOp{PC: g.nextPC(0x10)}
+	if g.spec.Mispred > 0 && g.rng.Float64() < g.spec.Mispred/g.spec.MemFrac*(1-g.spec.MemFrac) {
+		// Scale so the per-μop rate over the full stream is Mispred.
+		op.Mispredict = true
+	}
+	return op
+}
+
+func (g *Generator) nextPC(region uint64) uint64 {
+	g.pc++
+	return region<<20 | g.pc%64
+}
+
+func (g *Generator) randomLine() uint64 {
+	lines := g.spec.Footprint / 64
+	return (uint64(g.rng.Int63()) % lines) * 64
+}
+
+// hotOp emits one access on the L1-resident hot ring.
+func (g *Generator) hotOp() cpu.UOp {
+	addr := hotBase + g.hotPos
+	g.hotPos += 8
+	if g.hotPos >= g.hotBytes {
+		g.hotPos = 0
+	}
+	store := g.rng.Float64() < g.spec.StoreFrac
+	return cpu.UOp{Mem: true, Store: store, VAddr: addr, PC: 0x500 << 20}
+}
+
+// cold reports whether the next memory μop takes the cold path.
+func (g *Generator) cold() bool {
+	return g.coldFrac >= 1 || g.rng.Float64() < g.coldFrac
+}
+
+// memBatch emits the memory μops of one iteration.
+func (g *Generator) memBatch() []cpu.UOp {
+	switch g.spec.Pattern {
+	case Streaming, Strided:
+		ops := make([]cpu.UOp, 0, len(g.streamBase))
+		for s := range g.streamBase {
+			if !g.cold() {
+				ops = append(ops, g.hotOp())
+				continue
+			}
+			addr := g.streamBase[s] + g.streamPos[s]
+			g.streamPos[s] += g.spec.Stride
+			if g.streamPos[s]+g.spec.ElemBytes > g.streamLen {
+				g.streamPos[s] = 0
+			}
+			store := s == len(g.streamBase)-1 && g.rng.Float64() < g.spec.StoreFrac*float64(len(g.streamBase))
+			// Each stream keeps its own PC so the IP-stride
+			// prefetcher can train per stream.
+			ops = append(ops, cpu.UOp{Mem: true, Store: store, VAddr: addr, PC: 0x100<<20 | uint64(s)})
+		}
+		return ops
+	case RandomAccess:
+		if !g.cold() {
+			return []cpu.UOp{g.hotOp()}
+		}
+		store := g.rng.Float64() < g.spec.StoreFrac
+		return []cpu.UOp{{Mem: true, Store: store, VAddr: g.randomLine() + uint64(g.rng.Intn(8))*8, PC: 0x200 << 20}}
+	case PointerChase:
+		if !g.cold() {
+			return []cpu.UOp{g.hotOp()}
+		}
+		// The next node address "depends" on the loaded value: model as
+		// a random hop that must wait for the previous load.
+		g.chaseAddr = g.randomLine()
+		ops := []cpu.UOp{{Mem: true, VAddr: g.chaseAddr, PC: 0x300 << 20, DependsOnPrev: true}}
+		if g.rng.Float64() < g.spec.StoreFrac {
+			ops = append(ops, cpu.UOp{Mem: true, Store: true, VAddr: g.chaseAddr + 8, PC: 0x301 << 20})
+		}
+		return ops
+	case Mixed:
+		if !g.cold() {
+			return []cpu.UOp{g.hotOp()}
+		}
+		if g.runLeft <= 0 {
+			if g.rng.Float64() < g.spec.RandFrac {
+				g.runAddr = g.randomLine()
+				g.runLeft = 1 + g.rng.Intn(4)
+			} else {
+				g.runLeft = 16 + g.rng.Intn(32)
+			}
+		}
+		g.runLeft--
+		addr := g.runAddr
+		g.runAddr += 16
+		if g.runAddr >= g.spec.Footprint {
+			g.runAddr = 0
+		}
+		store := g.rng.Float64() < g.spec.StoreFrac
+		return []cpu.UOp{{Mem: true, Store: store, VAddr: addr, PC: 0x400 << 20}}
+	default:
+		panic(fmt.Sprintf("workload %s: unknown pattern %v", g.spec.Name, g.spec.Pattern))
+	}
+}
