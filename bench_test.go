@@ -15,9 +15,65 @@ import (
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
+	"stackedsim/internal/telemetry"
 	"stackedsim/internal/thermal"
 	"stackedsim/internal/workload"
 )
+
+// TestTelemetrySmokeParity is the tier-1 guard for the telemetry layer:
+// a telemetry-enabled run must produce exactly the simulation results
+// of a disabled run (telemetry counters may differ between builds; IPC
+// and memory traffic must not).
+func TestTelemetrySmokeParity(t *testing.T) {
+	run := func(tel *telemetry.Telemetry) core.Metrics {
+		cfg := config.QuadMC()
+		cfg.WarmupCycles = 5_000
+		cfg.MeasureCycles = 25_000
+		sys, err := core.NewSystem(cfg, workload.Mixes[3].Benchmarks[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.AttachTelemetry(tel)
+		return sys.Run()
+	}
+	plain := run(nil)
+	instr := run(telemetry.New(telemetry.Options{
+		Dir: t.TempDir(), SampleEvery: 250, TraceEvents: true, TraceSample: 4,
+	}))
+	if plain.HMIPC != instr.HMIPC {
+		t.Fatalf("telemetry changed HMIPC: %v vs %v", plain.HMIPC, instr.HMIPC)
+	}
+	for i := range plain.IPC {
+		if plain.IPC[i] != instr.IPC[i] {
+			t.Fatalf("telemetry changed core %d IPC: %v vs %v", i, plain.IPC[i], instr.IPC[i])
+		}
+	}
+	if plain.DRAMReads != instr.DRAMReads || plain.DRAMWrites != instr.DRAMWrites ||
+		plain.L2MissRate != instr.L2MissRate || plain.RowHitRate != instr.RowHitRate {
+		t.Fatal("telemetry changed memory-system behaviour")
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of a fully instrumented
+// run (sampler + tracer) against BenchmarkSimulatorThroughput's plain
+// configuration; compare ns/op between the two to bound the overhead.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cfg := config.QuadMC()
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 100_000
+	for i := 0; i < b.N; i++ {
+		mix, _ := workload.MixByName("VH1")
+		sys, err := core.NewSystem(cfg, mix.Benchmarks[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.AttachTelemetry(telemetry.New(telemetry.Options{
+			Dir: b.TempDir(), SampleEvery: 1_000, TraceEvents: true, TraceSample: 64,
+		}))
+		sys.Run()
+	}
+	b.ReportMetric(float64(100_000), "cycles/op")
+}
 
 // benchRunner returns a Runner with laptop-scale windows.
 func benchRunner() *core.Runner {

@@ -6,18 +6,28 @@
 //
 //	stacksim -config 3D-fast -mix VH1
 //	stacksim -config quadmc -bench S.copy,mcf -measure 1000000
+//	stacksim -config quadmc -mix VH1 -telemetry-dir out/ -sample-every 1000 -trace-events
 //	stacksim -list
+//
+// With -telemetry-dir the run writes manifest.json, timeseries.csv,
+// timeseries.jsonl, distributions.json and (with -trace-events)
+// trace.json into the directory; see docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/cpu"
+	"stackedsim/internal/telemetry"
 	"stackedsim/internal/trace"
 	"stackedsim/internal/workload"
 )
@@ -56,6 +66,14 @@ func main() {
 		unified = flag.Bool("unified-mshr", false, "one shared L2 MSHR file instead of per-MC banks")
 		traces  = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
 		list    = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+
+		telemetryDir = flag.String("telemetry-dir", "", "directory for telemetry exports (enables telemetry)")
+		sampleEvery  = flag.Int64("sample-every", 1000, "time-series sample interval in cycles")
+		traceEvents  = flag.Bool("trace-events", false, "emit Chrome trace_event JSON for sampled request lifecycles")
+		traceSample  = flag.Int("trace-sample", 64, "trace 1 in N demand-miss lifecycles")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +87,20 @@ func main() {
 			fmt.Printf("  %-4s (%s): %v\n", m.Name, m.Group, m.Benchmarks)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	cfg, ok := preset(*cfgName)
@@ -90,6 +122,19 @@ func main() {
 	cfg.SmartRefresh = *smart
 	cfg.MSHRUnified = *unified
 
+	var tel *telemetry.Telemetry
+	if *telemetryDir != "" {
+		tel = telemetry.New(telemetry.Options{
+			Dir:         *telemetryDir,
+			SampleEvery: *sampleEvery,
+			TraceEvents: *traceEvents,
+			TraceSample: *traceSample,
+		})
+	}
+
+	var sys *core.System
+	var err error
+	var labels []string
 	if *traces != "" {
 		files := strings.Split(*traces, ",")
 		sources := make([]cpu.UOpSource, len(files))
@@ -105,36 +150,84 @@ func main() {
 			}
 			sources[i] = r
 		}
-		sys, err := core.NewSystemFromSources(cfg, sources, files)
+		labels = files
+		sys, err = core.NewSystemFromSources(cfg, sources, files)
+	} else {
+		switch {
+		case *mixName != "":
+			mix, ok := workload.MixByName(*mixName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "stacksim: unknown mix %q\n", *mixName)
+				os.Exit(2)
+			}
+			labels = mix.Benchmarks[:]
+		case *benches != "":
+			labels = strings.Split(*benches, ",")
+		default:
+			fmt.Fprintln(os.Stderr, "stacksim: need -mix or -bench (see -list)")
+			os.Exit(2)
+		}
+		sys, err = core.NewSystem(cfg, labels)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sys.AttachTelemetry(tel)
+
+	started := time.Now()
+	m := sys.Run()
+	report(cfg, m)
+
+	if tel != nil {
+		// Close the series on the final cycle if it missed a boundary,
+		// then export everything alongside the manifest.
+		if tel.Sampler != nil && int64(sys.Engine.Now())%*sampleEvery != 0 {
+			tel.Sampler.Snapshot(sys.Engine.Now())
+		}
+		err := tel.Export(telemetry.Manifest{
+			Config:      cfg.Name,
+			Seed:        cfg.Seed,
+			Workload:    labels,
+			Flags:       flagValues(),
+			GitDescribe: gitDescribe(),
+			StartedAt:   started.UTC().Format(time.RFC3339),
+			WallSeconds: time.Since(started).Seconds(),
+			Cycles:      int64(sys.Engine.Now()),
+		})
 		if err != nil {
 			fatal(err)
 		}
-		report(cfg, sys.Run())
-		return
+		fmt.Printf("telemetry: exports written to %s\n", *telemetryDir)
 	}
 
-	var names []string
-	switch {
-	case *mixName != "":
-		mix, ok := workload.MixByName(*mixName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "stacksim: unknown mix %q\n", *mixName)
-			os.Exit(2)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
 		}
-		names = mix.Benchmarks[:]
-	case *benches != "":
-		names = strings.Split(*benches, ",")
-	default:
-		fmt.Fprintln(os.Stderr, "stacksim: need -mix or -bench (see -list)")
-		os.Exit(2)
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
+}
 
-	sys, err := core.NewSystem(cfg, names)
+// flagValues snapshots every explicitly set flag for the manifest.
+func flagValues() map[string]string {
+	fv := make(map[string]string)
+	flag.Visit(func(f *flag.Flag) { fv[f.Name] = f.Value.String() })
+	return fv
+}
+
+// gitDescribe best-effort identifies the source tree; empty when git is
+// unavailable (the manifest field is omitted).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
-		os.Exit(1)
+		return ""
 	}
-	report(cfg, sys.Run())
+	return strings.TrimSpace(string(out))
 }
 
 // report prints the collected metrics.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
 )
 
 // Stats counts bus activity.
@@ -87,6 +88,15 @@ func (b *Bus) Reserve(now sim.Cycle, n int) (start, end sim.Cycle) {
 	b.stats.Bytes += uint64(n)
 	b.stats.BusyCycles += uint64(dur)
 	return start, end
+}
+
+// Instrument registers the bus counters under the given name prefix
+// (e.g. "bus0"). The sampled series are cumulative; per-interval rates
+// are first differences in post-processing.
+func (b *Bus) Instrument(reg *telemetry.Registry, name string) {
+	reg.GaugeFunc(name+".busy_cycles", func() float64 { return float64(b.stats.BusyCycles) })
+	reg.GaugeFunc(name+".wait_cycles", func() float64 { return float64(b.stats.WaitCycles) })
+	reg.GaugeFunc(name+".bytes", func() float64 { return float64(b.stats.Bytes) })
 }
 
 // NextFree reports the earliest cycle a new transfer could start.

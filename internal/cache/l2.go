@@ -9,6 +9,7 @@ import (
 	"stackedsim/internal/mshr"
 	"stackedsim/internal/prefetch"
 	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
 )
 
 // L2Stats counts shared-L2 events.
@@ -83,6 +84,11 @@ type L2 struct {
 	// banking granularities are mismatched (line-interleaved L2 with
 	// multiple MCs requires a full crossbar; Section 4.1).
 	crossPenalty sim.Cycle
+
+	// Telemetry (nil when disabled): sampled demand-miss lifecycles are
+	// opened on the issuing core's track here and closed at the fill.
+	trace      *telemetry.Tracer
+	coreTracks []telemetry.Track
 }
 
 // bankQueueCap bounds each bank's input queue; a full queue pushes back
@@ -150,6 +156,42 @@ func NewL2(p L2Params) *L2 {
 
 // MSHRBanks exposes the MSHR files (for the dynamic resizer and stats).
 func (l *L2) MSHRBanks() []*mshr.File { return l.mshrBanks }
+
+// Instrument registers the shared-L2 metrics ("l2.*") and attaches the
+// tracer. Cumulative hit/miss/stall counts come from the existing stats
+// (sampled as monotone series); MSHR occupancy, set-aside queue depth,
+// and bank input queues are live gauges; each MSHR bank also registers
+// its probe-count distribution under "l2.mshr<m>.*".
+func (l *L2) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	reg.GaugeFunc("l2.accesses", func() float64 { return float64(l.stats.Accesses) })
+	reg.GaugeFunc("l2.hits", func() float64 { return float64(l.stats.Hits) })
+	reg.GaugeFunc("l2.demand_misses", func() float64 { return float64(l.stats.DemandMisses) })
+	reg.GaugeFunc("l2.mshr.stalls", func() float64 { return float64(l.stats.MSHRStalls) })
+	reg.GaugeFunc("l2.mshr.waiters", func() float64 {
+		n := 0
+		for _, q := range l.mshrWait {
+			n += len(q)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("l2.inq.depth", func() float64 {
+		n := 0
+		for _, b := range l.banks {
+			n += b.inq.Len()
+		}
+		return float64(n)
+	})
+	for m, f := range l.mshrBanks {
+		f.Instrument(reg, fmt.Sprintf("l2.mshr%d", m))
+	}
+	l.trace = tr
+	if tr != nil {
+		l.coreTracks = make([]telemetry.Track, l.cfg.Cores)
+		for c := 0; c < l.cfg.Cores; c++ {
+			l.coreTracks[c] = tr.Track("cores", fmt.Sprintf("core%d", c))
+		}
+	}
+}
 
 // Stats returns the counters.
 func (l *L2) Stats() *L2Stats { return &l.stats }
@@ -326,6 +368,10 @@ func (l *L2) missPath(r *mem.Request, now sim.Cycle) bool {
 	if found {
 		l.mshrBusy[m] = start + busyFor
 		entry.Merge(r)
+		if p := entry.Primary(); p != nil && p.Traced && r.Core >= 0 {
+			l.trace.Instant(l.coreTracks[r.Core], "mshr.merge", now,
+				fmt.Sprintf(`{"req":%d,"line":"%#x"}`, r.ID, uint64(r.Line)))
+		}
 		return true
 	}
 	if f.Full() {
@@ -350,6 +396,15 @@ func (l *L2) missPath(r *mem.Request, now sim.Cycle) bool {
 	if r.Kind.IsDemand() && r.Core >= 0 {
 		l.stats.DemandMisses++
 		l.missesBy[r.Core]++
+		// Open a sampled lifecycle: the span runs on the issuing core's
+		// track from the L2 miss until the fill wakes the waiters.
+		if l.trace != nil && l.trace.SampleReq() {
+			r.Traced = true
+			tr := l.coreTracks[r.Core]
+			l.trace.Begin(tr, "l2.miss", now)
+			l.trace.Instant(tr, "mshr.alloc", now,
+				fmt.Sprintf(`{"req":%d,"line":"%#x","bank":%d}`, r.ID, uint64(r.Line), m))
+		}
 	}
 	// Issue toward the MC once the MSHR access completes.
 	ready := l.mshrBusy[m]
@@ -371,13 +426,14 @@ func (l *L2) issue(mshrIdx int, e *mshr.Entry) {
 		return
 	}
 	read := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Read,
-		Addr: primary.Addr,
-		Line: e.Line,
-		Core: primary.Core,
-		PC:   primary.PC,
-		Born: primary.Born,
+		ID:     l.ids.Next(),
+		Kind:   mem.Read,
+		Addr:   primary.Addr,
+		Line:   e.Line,
+		Core:   primary.Core,
+		PC:     primary.PC,
+		Born:   primary.Born,
+		Traced: primary.Traced,
 	}
 	read.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleFill(mshrIdx, e, req, at) }
 	if l.mcs[mcIdx].Submit(read, l.now) {
@@ -433,6 +489,12 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 			Born: at,
 		}
 		l.queueWriteback(wb)
+	}
+	if read.Traced && read.Core >= 0 {
+		tr := l.coreTracks[read.Core]
+		l.trace.Instant(tr, "fill", at,
+			fmt.Sprintf(`{"req":%d,"waiters":%d,"rowhit":%t}`, read.ID, len(e.Waiters), read.RowHit))
+		l.trace.End(tr, "l2.miss", at)
 	}
 	for _, w := range e.Waiters {
 		if w.Core < 0 && w.Kind == mem.Prefetch {

@@ -18,6 +18,7 @@ import (
 	"stackedsim/internal/power"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/stats"
+	"stackedsim/internal/telemetry"
 	"stackedsim/internal/tlb"
 	"stackedsim/internal/workload"
 )
@@ -200,6 +201,37 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		s.Engine.Register(sim.TickFunc(s.Resizer.Tick))
 	}
 	return s, nil
+}
+
+// AttachTelemetry wires tel through every component and registers the
+// interval sampler as the engine's last ticker, so each sample reflects
+// the end of its cycle. Call it after construction and before Run. All
+// instrumentation is read-only (gauges poll live state, trace events
+// annotate sampled requests), so an instrumented run produces exactly
+// the simulation results of an uninstrumented one. A nil tel is a no-op.
+func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	reg, tr := tel.Reg(), tel.Trace()
+	for _, c := range s.Cores {
+		c.Instrument(reg)
+	}
+	s.L2.Instrument(reg, tr)
+	for _, mc := range s.MCs {
+		mc.Instrument(reg, tr)
+	}
+	for i, b := range s.Buses {
+		b.Instrument(reg, fmt.Sprintf("bus%d", i))
+	}
+	for i, mc := range s.MCs {
+		for r, rank := range mc.Ranks() {
+			rank.Instrument(reg, fmt.Sprintf("dram.mc%d.rank%d", i, r))
+		}
+	}
+	if tel.Sampler != nil {
+		s.Engine.Register(tel.Sampler)
+	}
 }
 
 // ResetStats zeroes every component's statistics (end of warmup).

@@ -12,6 +12,7 @@ import (
 	"stackedsim/internal/config"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
 	"stackedsim/internal/tlb"
 )
 
@@ -152,6 +153,24 @@ func New(p Params) *Core {
 
 // Stats returns the counters.
 func (c *Core) Stats() *Stats { return &c.stats }
+
+// ROBOccupancy reports live ROB entries (telemetry gauge).
+func (c *Core) ROBOccupancy() int { return c.occupancy }
+
+// MemQueueDepth reports unissued memory μops (telemetry gauge).
+func (c *Core) MemQueueDepth() int { return len(c.memQ) }
+
+// Instrument registers this core's telemetry under "core<id>.*":
+// instantaneous ROB and memory-queue occupancy, L1 outstanding misses,
+// and cumulative committed μops. Pure reads — the core's behaviour is
+// identical instrumented or not.
+func (c *Core) Instrument(reg *telemetry.Registry) {
+	name := fmt.Sprintf("core%d", c.id)
+	reg.GaugeFunc(name+".rob.occupancy", func() float64 { return float64(c.occupancy) })
+	reg.GaugeFunc(name+".memq.depth", func() float64 { return float64(len(c.memQ)) })
+	reg.GaugeFunc(name+".l1.outstanding", func() float64 { return float64(c.l1.OutstandingMisses()) })
+	reg.GaugeFunc(name+".committed", func() float64 { return float64(c.committedTotal) })
+}
 
 // Freeze stops statistics collection while execution continues — the
 // paper's methodology for multi-programmed runs where one program

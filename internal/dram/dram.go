@@ -10,6 +10,7 @@ import (
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
 )
 
 // Timing holds the array timing parameters converted to CPU cycles
@@ -214,6 +215,32 @@ func NewRank(t Timing, banks, rowBufEntries, refreshMS int, cpuMHz float64) *Ran
 		r.next = r.interval
 	}
 	return r
+}
+
+// Instrument registers the rank's metrics under the given name prefix
+// (e.g. "dram.mc0.rank3"): open row-buffer entries across the banks as
+// a gauge, and cumulative activate/row-hit/refresh counts summed over
+// the banks.
+func (r *Rank) Instrument(reg *telemetry.Registry, name string) {
+	sum := func(read func(*BankStats) uint64) func() float64 {
+		return func() float64 {
+			var n uint64
+			for _, b := range r.Banks {
+				n += read(b.Stats())
+			}
+			return float64(n)
+		}
+	}
+	reg.GaugeFunc(name+".openrows", func() float64 {
+		n := 0
+		for _, b := range r.Banks {
+			n += b.OpenRows()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc(name+".rowhit", sum(func(s *BankStats) uint64 { return s.RowHits }))
+	reg.GaugeFunc(name+".activates", sum(func(s *BankStats) uint64 { return s.Activates }))
+	reg.GaugeFunc(name+".refreshes", sum(func(s *BankStats) uint64 { return s.Refreshes }))
 }
 
 // RefreshInterval reports tREFI in CPU cycles (0 = disabled).

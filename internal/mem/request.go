@@ -62,6 +62,12 @@ type Request struct {
 	// issuing cache must unwind its bookkeeping.
 	Dropped bool
 
+	// Traced marks a request whose lifecycle the telemetry tracer
+	// sampled; downstream components emit trace events only for marked
+	// requests, and derived requests inherit the mark. Always false
+	// when tracing is disabled, so the flag costs one branch.
+	Traced bool
+
 	// OnDone, if non-nil, runs exactly once when the request completes.
 	OnDone func(r *Request, now sim.Cycle)
 

@@ -16,6 +16,7 @@ import (
 	"stackedsim/internal/dram"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
 )
 
 // Stats aggregates controller activity.
@@ -66,6 +67,14 @@ type Controller struct {
 	queue *sim.Queue[*mem.Request]
 	done  sim.EventQueue
 	stats Stats
+
+	// Telemetry (all nil/zero when disabled): the MRQ delay
+	// distribution, the controller's trace track, and one DRAM track
+	// per owned rank.
+	queueDelay *telemetry.Distribution
+	trace      *telemetry.Tracer
+	mcTrack    telemetry.Track
+	rankTracks []telemetry.Track
 }
 
 // New returns a controller. It panics on malformed parameters, which are
@@ -99,6 +108,27 @@ func (c *Controller) Stats() *Stats { return &c.stats }
 // QueueLen reports the current MRQ occupancy.
 func (c *Controller) QueueLen() int { return c.queue.Len() }
 
+// Instrument registers the controller's metrics under "mc<id>.*" and
+// attaches the tracer: MRQ depth as a live gauge, cumulative
+// read/write/row-hit/reject counts, and the queueing-delay
+// distribution. Trace events go to one "mc<id>" track plus one
+// "mc<id>.rank<r>" DRAM track per owned rank.
+func (c *Controller) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	name := fmt.Sprintf("mc%d", c.p.ID)
+	reg.GaugeFunc(name+".readq.depth", func() float64 { return float64(c.queue.Len()) })
+	reg.GaugeFunc(name+".reads", func() float64 { return float64(c.stats.Reads) })
+	reg.GaugeFunc(name+".writes", func() float64 { return float64(c.stats.Writes) })
+	reg.GaugeFunc(name+".rowhits", func() float64 { return float64(c.stats.RowHits) })
+	reg.GaugeFunc(name+".rejects", func() float64 { return float64(c.stats.Rejected) })
+	c.queueDelay = reg.Distribution(name + ".queue.delay")
+	c.trace = tr
+	c.mcTrack = tr.Track("mcs", name)
+	c.rankTracks = make([]telemetry.Track, len(c.p.Ranks))
+	for r := range c.p.Ranks {
+		c.rankTracks[r] = tr.Track("dram", fmt.Sprintf("%s.rank%d", name, r))
+	}
+}
+
 // Full reports whether Submit would fail.
 func (c *Controller) Full() bool { return c.queue.Full() }
 
@@ -121,6 +151,10 @@ func (c *Controller) Submit(r *mem.Request, now sim.Cycle) bool {
 	}
 	r.Issued = now
 	c.stats.Submitted++
+	if r.Traced {
+		c.trace.Instant(c.mcTrack, "mrq.enqueue", now,
+			fmt.Sprintf(`{"req":%d,"depth":%d}`, r.ID, c.queue.Len()))
+	}
 	return true
 }
 
@@ -201,6 +235,7 @@ func (c *Controller) Tick(now sim.Cycle) {
 	}
 	r := c.queue.RemoveAt(i)
 	c.stats.QueueCycles += uint64(now - r.Issued)
+	c.queueDelay.Observe(int(now - r.Issued))
 	loc := c.p.AMap.Decode(r.Line)
 	bk := c.bank(loc)
 	write := r.Kind == mem.Write || r.Kind == mem.Writeback
@@ -215,6 +250,19 @@ func (c *Controller) Tick(now sim.Cycle) {
 	} else {
 		c.stats.Reads++
 	}
+	if r.Traced {
+		rk := c.rankTracks[loc.Rank]
+		if rowHit {
+			c.trace.Instant(rk, "cas.rowhit", now,
+				fmt.Sprintf(`{"req":%d,"bank":%d,"row":%d}`, r.ID, loc.Bank, loc.Row))
+		} else {
+			c.trace.Instant(rk, "activate", now,
+				fmt.Sprintf(`{"req":%d,"bank":%d,"row":%d}`, r.ID, loc.Bank, loc.Row))
+		}
+		// The DRAM service interval: scheduling until the array delivers.
+		c.trace.Begin(rk, "dram.access", now)
+		c.trace.End(rk, "dram.access", dataAt)
+	}
 	// The line crosses the channel data bus once the array delivers (or,
 	// for writes, symmetric occupancy to carry the data in).
 	start, end := c.p.DataBus.Reserve(dataAt, c.p.LineBytes)
@@ -228,6 +276,12 @@ func (c *Controller) Tick(now sim.Cycle) {
 		if early := start + c.p.DataBus.TransferCycles(word); early < end {
 			end = early
 		}
+	}
+	if r.Traced {
+		// The burst across the channel data bus; bus reservations are
+		// serialized, so these slices never overlap on the MC track.
+		c.trace.Begin(c.mcTrack, "burst", start)
+		c.trace.End(c.mcTrack, "burst", end)
 	}
 	req := r
 	c.done.At(end, func() {

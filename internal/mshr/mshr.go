@@ -17,6 +17,7 @@ import (
 	"stackedsim/internal/config"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/stats"
+	"stackedsim/internal/telemetry"
 	"stackedsim/internal/vbf"
 )
 
@@ -67,6 +68,10 @@ type File struct {
 	entries []*Entry // indexed by table slot
 	byLine  int      // live count (mirrors table)
 	stats   Stats
+
+	// probeDist, when instrumented, mirrors per-lookup probe counts
+	// into the telemetry registry (nil = disabled, no-op).
+	probeDist *telemetry.Distribution
 }
 
 // New returns an empty MSHR bank of the given kind and capacity.
@@ -128,6 +133,7 @@ func (f *File) Lookup(line mem.Addr) (e *Entry, probes int, found bool) {
 	f.stats.Accesses++
 	f.stats.Probes += uint64(probes)
 	f.stats.ProbeCounts.Add(probes)
+	f.probeDist.Observe(probes)
 	if !found {
 		return nil, probes, false
 	}
@@ -161,6 +167,16 @@ func (f *File) Release(e *Entry) {
 	f.table.Free(e.slot)
 	f.entries[e.slot] = nil
 	f.stats.Releases++
+}
+
+// Instrument registers this bank's metrics under the given name prefix
+// (e.g. "l2.mshr0"): live occupancy and active limit as gauges, plus
+// the per-lookup probe-count distribution. A nil registry disables
+// everything at zero cost.
+func (f *File) Instrument(reg *telemetry.Registry, name string) {
+	reg.GaugeFunc(name+".occupancy", func() float64 { return float64(f.Len()) })
+	reg.GaugeFunc(name+".limit", func() float64 { return float64(f.Limit()) })
+	f.probeDist = reg.Distribution(name + ".probes")
 }
 
 // ForEach visits every live entry (slot order).

@@ -132,9 +132,16 @@ func (h *Histogram) Overflow() uint64 { return h.overflow }
 
 // Percentile reports the smallest value v such that at least p (0..1) of
 // observations are <= v. Overflow observations count as len(buckets).
+// An empty histogram reports 0; p is clamped to [0,1] and a NaN p is
+// treated as 0, so the result is always a finite bucket value.
 func (h *Histogram) Percentile(p float64) int {
 	if h.count == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
 	}
 	target := uint64(math.Ceil(p * float64(h.count)))
 	var cum uint64
@@ -145,6 +152,26 @@ func (h *Histogram) Percentile(p float64) int {
 		}
 	}
 	return len(h.buckets)
+}
+
+// Quantiles reports Percentile for each of ps, in order.
+func (h *Histogram) Quantiles(ps ...float64) []int {
+	qs := make([]int, len(ps))
+	for i, p := range ps {
+		qs[i] = h.Percentile(p)
+	}
+	return qs
+}
+
+// Summary renders the distribution one-liner used by telemetry exports:
+// count, mean, and the p50/p90/p99 quantiles ("empty" with no data).
+func (h *Histogram) Summary() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	qs := h.Quantiles(0.50, 0.90, 0.99)
+	return fmt.Sprintf("count=%d mean=%.2f p50=%d p90=%d p99=%d",
+		h.count, h.MeanValue(), qs[0], qs[1], qs[2])
 }
 
 // Table is a tiny fixed-width text table builder used to print the

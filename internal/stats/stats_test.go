@@ -148,3 +148,67 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	empty := NewHistogram(8)
+	for _, p := range []float64{0, 0.5, 1, -3, 7, math.NaN()} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty histogram Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 9} { // 9 overflows
+		h.Add(v)
+	}
+	if got := h.Percentile(math.NaN()); got != 0 {
+		t.Fatalf("Percentile(NaN) = %d, want 0 (clamped)", got)
+	}
+	if got := h.Percentile(-1); got != 0 {
+		t.Fatalf("Percentile(-1) = %d, want 0 (clamped)", got)
+	}
+	if got := h.Percentile(99); got != 4 {
+		t.Fatalf("Percentile(99) = %d, want overflow bucket 4 (clamped to 1)", got)
+	}
+	if got := h.Percentile(0.5); got != 1 {
+		t.Fatalf("Percentile(0.5) = %d, want 1", got)
+	}
+}
+
+func TestRatioAndMeanNeverNaN(t *testing.T) {
+	if got := Ratio(0, 0); got != 0 || math.IsNaN(got) {
+		t.Fatalf("Ratio(0,0) = %v, want 0", got)
+	}
+	if got := Ratio(5, 0); got != 0 {
+		t.Fatalf("Ratio(5,0) = %v, want 0", got)
+	}
+	if got := PerKilo(5, 0); got != 0 {
+		t.Fatalf("PerKilo(5,0) = %v, want 0", got)
+	}
+	empty := NewHistogram(4)
+	if got := empty.MeanValue(); got != 0 || math.IsNaN(got) {
+		t.Fatalf("empty MeanValue = %v, want 0", got)
+	}
+}
+
+func TestQuantilesAndSummary(t *testing.T) {
+	h := NewHistogram(16)
+	for v := 0; v < 10; v++ { // one observation each of 0..9
+		h.Add(v)
+	}
+	qs := h.Quantiles(0.50, 0.90, 0.99)
+	if len(qs) != 3 || qs[0] != 4 || qs[1] != 8 || qs[2] != 9 {
+		t.Fatalf("Quantiles = %v, want [4 8 9]", qs)
+	}
+	s := h.Summary()
+	for _, part := range []string{"count=10", "mean=4.50", "p50=4", "p90=8", "p99=9"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("Summary %q missing %q", s, part)
+		}
+	}
+	if got := NewHistogram(4).Summary(); got != "empty" {
+		t.Fatalf("empty Summary = %q", got)
+	}
+	if qs := NewHistogram(4).Quantiles(); len(qs) != 0 {
+		t.Fatalf("Quantiles() = %v, want empty", qs)
+	}
+}

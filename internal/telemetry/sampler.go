@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stackedsim/internal/sim"
+)
+
+// Sample is one time-series row: every scalar metric's value at a
+// sample point. Values align with the registry's name order at the time
+// the sample was taken; rows taken before a late registration are
+// zero-padded on export.
+type Sample struct {
+	Cycle  sim.Cycle
+	Values []float64
+}
+
+// Sampler snapshots the registry every Every cycles. Register it with
+// the simulation engine (it is a sim.Ticker); it must tick after the
+// components it observes, i.e. be registered last, so a sample reflects
+// the end of the cycle it is stamped with.
+//
+// The sampler only reads component state, so its presence cannot change
+// simulation results. A nil *Sampler is a no-op Ticker.
+type Sampler struct {
+	reg   *Registry
+	every sim.Cycle
+	rows  []Sample
+}
+
+// NewSampler returns a sampler snapshotting reg every `every` cycles
+// (minimum 1).
+func NewSampler(reg *Registry, every sim.Cycle) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{reg: reg, every: every}
+}
+
+// Tick snapshots the registry on sample boundaries.
+func (s *Sampler) Tick(now sim.Cycle) {
+	if s == nil || now%s.every != 0 {
+		return
+	}
+	s.Snapshot(now)
+}
+
+// Snapshot forces a sample at cycle now regardless of the interval
+// (used for the final partial interval at the end of a run).
+func (s *Sampler) Snapshot(now sim.Cycle) {
+	if s == nil {
+		return
+	}
+	vals := make([]float64, 0, len(s.reg.order))
+	for _, name := range s.reg.order {
+		if v, ok := s.reg.value(name); ok {
+			vals = append(vals, v)
+		}
+	}
+	s.rows = append(s.rows, Sample{Cycle: now, Values: vals})
+}
+
+// Rows reports the collected samples.
+func (s *Sampler) Rows() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.rows
+}
+
+// scalarNames reports the registry's counter/gauge names in column
+// order (distributions carry no per-interval scalar).
+func (s *Sampler) scalarNames() []string {
+	names := make([]string, 0, len(s.reg.order))
+	for _, name := range s.reg.order {
+		if _, ok := s.reg.value(name); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// formatValue renders v compactly and deterministically: integers
+// without a decimal point, everything else with %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV writes the time-series with a "cycle,<metric>,..." header.
+// Output is deterministic for a deterministic run.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	names := s.scalarNames()
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, n := range names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	for _, row := range s.rows {
+		b.WriteString(strconv.FormatInt(int64(row.Cycle), 10))
+		for i := range names {
+			b.WriteByte(',')
+			if i < len(row.Values) {
+				b.WriteString(formatValue(row.Values[i]))
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSONL writes one JSON object per sample:
+// {"cycle":N,"metrics":{"name":value,...}} in column order.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	names := s.scalarNames()
+	var b strings.Builder
+	for _, row := range s.rows {
+		fmt.Fprintf(&b, `{"cycle":%d,"metrics":{`, int64(row.Cycle))
+		for i, n := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			v := 0.0
+			if i < len(row.Values) {
+				v = row.Values[i]
+			}
+			fmt.Fprintf(&b, "%q:%s", n, formatValue(v))
+		}
+		b.WriteString("}}\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

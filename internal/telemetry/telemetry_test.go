@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"stackedsim/internal/sim"
+)
+
+func cyc(n int64) sim.Cycle { return sim.Cycle(n) }
+
+func TestNilRegistryHandsOutNoOpHandles(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x.count")
+	g := reg.Gauge("x.level")
+	gf := reg.GaugeFunc("x.poll", func() float64 { return 42 })
+	d := reg.Distribution("x.dist")
+	if c != nil || g != nil || gf != nil || d != nil {
+		t.Fatalf("nil registry must hand out nil handles, got %v %v %v %v", c, g, gf, d)
+	}
+	// Every method on a nil handle must be a safe no-op.
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	d.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if d.Summary() != "empty" {
+		t.Fatalf("nil distribution summary = %q", d.Summary())
+	}
+	if reg.Names() != nil {
+		t.Fatal("nil registry must report no names")
+	}
+}
+
+func TestCounterGaugeDistribution(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mc0.reads")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	g := reg.Gauge("mc0.readq.depth")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v, want 7", g.Value())
+	}
+	level := 3.0
+	p := reg.GaugeFunc("l2.mshr.occupancy", func() float64 { return level })
+	level = 11
+	if p.Value() != 11 {
+		t.Fatalf("polled gauge = %v, want 11", p.Value())
+	}
+	p.Set(99) // Set must not override a poll-driven gauge
+	if p.Value() != 11 {
+		t.Fatalf("Set overrode a poll-driven gauge: %v", p.Value())
+	}
+	d := reg.Distribution("mc0.queue.delay")
+	for _, v := range []int{1, 2, 2, 3} {
+		d.Observe(v)
+	}
+	if d.Histogram().Count() != 4 {
+		t.Fatalf("distribution count = %d, want 4", d.Histogram().Count())
+	}
+	if !strings.Contains(d.Summary(), "p50=2") {
+		t.Fatalf("summary %q missing p50=2", d.Summary())
+	}
+}
+
+func TestRegistryNameCollisions(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup.name")
+	b := reg.Counter("dup.name")
+	if a != b {
+		t.Fatal("same-kind re-registration must return the original handle")
+	}
+	if n := len(reg.Names()); n != 1 {
+		t.Fatalf("duplicate registration grew the registry to %d names", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge must panic")
+		}
+	}()
+	reg.Gauge("dup.name")
+}
+
+func TestRegistrationOrderIsExportOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last.first")
+	reg.Gauge("a.alpha")
+	reg.Distribution("m.middle")
+	got := reg.Names()
+	want := []string{"z.last.first", "a.alpha", "m.middle"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q (registration order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSamplerSnapshotsAndCSV(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evts")
+	depth := 0.0
+	reg.GaugeFunc("q.depth", func() float64 { return depth })
+	reg.Distribution("lat") // must not appear as a CSV column
+
+	s := NewSampler(reg, 10)
+	for now := int64(1); now <= 30; now++ {
+		c.Inc()
+		depth = float64(now % 4)
+		s.Tick(cyc(now))
+	}
+	if len(s.Rows()) != 3 {
+		t.Fatalf("%d samples, want 3 (cycles 10,20,30)", len(s.Rows()))
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "cycle,evts,q.depth" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "10,10,2" || lines[3] != "30,30,2" {
+		t.Fatalf("rows = %q / %q", lines[1], lines[3])
+	}
+
+	var j strings.Builder
+	if err := s.WriteJSONL(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `{"cycle":20,"metrics":{"evts":20,"q.depth":0}}`) {
+		t.Fatalf("jsonl missing cycle-20 row: %s", j.String())
+	}
+}
+
+func TestNilSamplerAndTracerAreNoOps(t *testing.T) {
+	var s *Sampler
+	s.Tick(5)
+	s.Snapshot(5)
+	if s.Rows() != nil {
+		t.Fatal("nil sampler must have no rows")
+	}
+	var tr *Tracer
+	if tr.SampleReq() {
+		t.Fatal("nil tracer must never sample")
+	}
+	track := tr.Track("p", "t")
+	tr.Begin(track, "x", 1)
+	tr.End(track, "x", 2)
+	tr.Instant(track, "y", 1, "")
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != `{"traceEvents":[]}` {
+		t.Fatalf("nil tracer JSON = %q", b.String())
+	}
+}
+
+func TestTracerSamplingIsDeterministicModulo(t *testing.T) {
+	tr := NewTracer(4)
+	var admitted []int
+	for i := 0; i < 12; i++ {
+		if tr.SampleReq() {
+			admitted = append(admitted, i)
+		}
+	}
+	want := []int{0, 4, 8}
+	if len(admitted) != len(want) {
+		t.Fatalf("admitted %v, want %v", admitted, want)
+	}
+	for i := range want {
+		if admitted[i] != want[i] {
+			t.Fatalf("admitted %v, want %v", admitted, want)
+		}
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	tr := NewTracer(1)
+	tr.MaxEvents = 4
+	track := tr.Track("p", "t")
+	for i := 0; i < 10; i++ {
+		tr.Instant(track, "e", cyc(int64(i)), "")
+	}
+	if tr.Len() > 4 {
+		t.Fatalf("buffer grew to %d events past the cap of 4", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected drops past the cap")
+	}
+}

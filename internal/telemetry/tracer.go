@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"stackedsim/internal/sim"
+)
+
+// Track identifies one timeline in the trace viewer: a (process,
+// thread) pair. Processes group related tracks ("cores", "mcs",
+// "dram"); each core, memory controller, or rank is one thread. The
+// zero Track is what a nil Tracer hands out; events on it are dropped.
+type Track struct {
+	pid, tid int
+}
+
+// event is one Chrome trace_event record. TS is in simulated CPU
+// cycles, rendered as the viewer's microsecond field (1 cycle = 1 "µs"
+// on screen); no wall-clock time is ever recorded.
+type event struct {
+	name string
+	ph   byte // 'B', 'E', 'i', 'M'
+	ts   sim.Cycle
+	tr   Track
+	arg  string // optional pre-rendered JSON args object
+}
+
+// DefaultMaxEvents bounds the in-memory trace buffer (~96 bytes/event).
+const DefaultMaxEvents = 1 << 20
+
+// Tracer records structured events for sampled request lifecycles and
+// writes them as Chrome trace_event JSON loadable in chrome://tracing
+// or Perfetto. A nil *Tracer is a no-op: every method returns
+// immediately, so tracing costs one nil check when disabled.
+//
+// Full-fidelity traces of every request would dominate run time and
+// memory, so lifecycles are sampled: SampleReq deterministically admits
+// one in every sampleRate requests (cycle-ordered, so a given seed and
+// configuration always traces the same requests), and the event buffer
+// is capped at MaxEvents (drops are counted, never silent).
+type Tracer struct {
+	sampleRate uint64
+	seen       uint64
+	events     []event
+	procs      map[string]int
+	threads    map[string]Track
+	// MaxEvents caps the buffer; 0 means DefaultMaxEvents.
+	MaxEvents int
+	dropped   uint64
+}
+
+// NewTracer returns a tracer admitting one in sampleRate request
+// lifecycles (minimum 1 = trace every request).
+func NewTracer(sampleRate int) *Tracer {
+	if sampleRate < 1 {
+		sampleRate = 1
+	}
+	return &Tracer{
+		sampleRate: uint64(sampleRate),
+		procs:      make(map[string]int),
+		threads:    make(map[string]Track),
+	}
+}
+
+// SampleReq reports whether the next request lifecycle should be
+// traced. The decision is a deterministic modulo over a request
+// counter, not a random draw, preserving run reproducibility.
+func (t *Tracer) SampleReq() bool {
+	if t == nil {
+		return false
+	}
+	t.seen++
+	return (t.seen-1)%t.sampleRate == 0
+}
+
+// Track resolves (and on first use creates) the track for the given
+// process and thread names. Nil tracer → zero Track.
+func (t *Tracer) Track(process, thread string) Track {
+	if t == nil {
+		return Track{}
+	}
+	key := process + "\x00" + thread
+	if tr, ok := t.threads[key]; ok {
+		return tr
+	}
+	pid, ok := t.procs[process]
+	if !ok {
+		pid = len(t.procs) + 1
+		t.procs[process] = pid
+		t.meta("process_name", Track{pid: pid}, process)
+	}
+	tr := Track{pid: pid, tid: len(t.threads) + 1}
+	t.threads[key] = tr
+	t.meta("thread_name", tr, thread)
+	return tr
+}
+
+func (t *Tracer) meta(kind string, tr Track, name string) {
+	t.events = append(t.events, event{
+		name: kind, ph: 'M', tr: tr,
+		arg: fmt.Sprintf(`{"name":%q}`, name),
+	})
+}
+
+func (t *Tracer) push(e event) {
+	max := t.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if len(t.events) >= max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Begin opens a duration slice named name on tr at cycle now.
+func (t *Tracer) Begin(tr Track, name string, now sim.Cycle) {
+	if t == nil || tr == (Track{}) {
+		return
+	}
+	t.push(event{name: name, ph: 'B', ts: now, tr: tr})
+}
+
+// End closes the most recent open slice on tr at cycle now.
+func (t *Tracer) End(tr Track, name string, now sim.Cycle) {
+	if t == nil || tr == (Track{}) {
+		return
+	}
+	t.push(event{name: name, ph: 'E', ts: now, tr: tr})
+}
+
+// Instant marks a point event on tr at cycle now, optionally carrying a
+// pre-rendered JSON args object (pass "" for none).
+func (t *Tracer) Instant(tr Track, name string, now sim.Cycle, args string) {
+	if t == nil || tr == (Track{}) {
+		return
+	}
+	t.push(event{name: name, ph: 'i', ts: now, tr: tr, arg: args})
+}
+
+// Len reports buffered events; Dropped reports events lost to the cap.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped reports events discarded after the buffer cap was reached.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// WriteJSON writes the trace in Chrome trace_event "JSON object"
+// format. Event order is emission order, which is cycle order within a
+// deterministic run.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	for i, e := range t.events {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, `{"name":%q,"ph":%q,"pid":%d,"tid":%d`, e.name, string(e.ph), e.tr.pid, e.tr.tid)
+		if e.ph != 'M' {
+			fmt.Fprintf(&b, `,"ts":%d`, int64(e.ts))
+		}
+		if e.ph == 'i' {
+			b.WriteString(`,"s":"t"`)
+		}
+		if e.arg != "" {
+			fmt.Fprintf(&b, `,"args":%s`, e.arg)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildLifecycleTrace emits the canonical sampled request lifecycle the
+// simulator produces: L2 miss on a core track, MSHR alloc, MC enqueue,
+// DRAM activate/CAS, burst, fill.
+func buildLifecycleTrace() *Tracer {
+	tr := NewTracer(1)
+	core0 := tr.Track("cores", "core0")
+	mc0 := tr.Track("mcs", "mc0")
+	rank0 := tr.Track("dram", "mc0.rank0")
+
+	tr.Begin(core0, "l2.miss", 100)
+	tr.Instant(core0, "mshr.alloc", 100, `{"req":7,"line":"0x40","bank":0}`)
+	tr.Instant(mc0, "mrq.enqueue", 112, `{"req":8,"depth":3}`)
+	tr.Instant(rank0, "activate", 120, `{"req":8,"bank":2,"row":5}`)
+	tr.Begin(rank0, "dram.access", 120)
+	tr.End(rank0, "dram.access", 155)
+	tr.Begin(mc0, "burst", 155)
+	tr.End(mc0, "burst", 163)
+	tr.Instant(core0, "fill", 163, `{"req":8,"waiters":1,"rowhit":false}`)
+	tr.End(core0, "l2.miss", 163)
+	return tr
+}
+
+// TestTraceGolden pins the exact Chrome trace_event JSON shape; a
+// formatting regression would silently break chrome://tracing and
+// Perfetto imports. Regenerate with `go test ./internal/telemetry
+// -run TraceGolden -update` after an intentional change.
+func TestTraceGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildLifecycleTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace JSON diverged from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTraceJSONShape checks the structural contract the viewers rely
+// on: a traceEvents array whose records carry name/ph/pid/tid, 'B'/'E'
+// pairs on the same track, and metadata naming every process/thread.
+func TestTraceJSONShape(t *testing.T) {
+	var b strings.Builder
+	if err := buildLifecycleTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			TS   *int64          `json:"ts"`
+			S    string          `json:"s"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	open := map[[2]int]int{}
+	var metas, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+			if len(e.Args) == 0 {
+				t.Fatalf("metadata event %q without args", e.Name)
+			}
+		case "B":
+			open[[2]int{e.Pid, e.Tid}]++
+		case "E":
+			key := [2]int{e.Pid, e.Tid}
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("unbalanced E for %q on pid=%d tid=%d", e.Name, e.Pid, e.Tid)
+			}
+		case "i":
+			instants++
+			if e.S != "t" {
+				t.Fatalf("instant %q missing thread scope", e.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Ph != "M" && e.TS == nil {
+			t.Fatalf("event %q without ts", e.Name)
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Fatalf("track %v left %d spans open", key, n)
+		}
+	}
+	if metas != 6 { // 3 process_name + 3 thread_name
+		t.Fatalf("%d metadata events, want 6", metas)
+	}
+	if instants != 4 {
+		t.Fatalf("%d instants, want 4", instants)
+	}
+}

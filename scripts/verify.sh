@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verification for stackedsim.
+#
+# Extends the baseline `go build ./... && go test ./...` gate with vet
+# and a race-detector pass over the packages that carry cross-cutting
+# state (the simulation engine and the telemetry layer, whose sampler
+# and tracer observe every component).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/telemetry/... ./internal/sim/..."
+go test -race ./internal/telemetry/... ./internal/sim/...
+
+echo "verify: OK"
