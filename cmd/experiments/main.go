@@ -6,21 +6,37 @@
 //
 //	experiments -exp all
 //	experiments -exp fig4,fig6a -measure 1000000 -v
+//	experiments -exp all -j 8 -perf-json perf.json
+//
+// Runs fan out over a worker pool (-j, default GOMAXPROCS); output is
+// byte-identical to -j 1 because every simulation is deterministic in
+// isolation and figures print in a fixed order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/floorplan"
 	"stackedsim/internal/thermal"
 )
+
+// perfReport is the -perf-json payload; scripts/bench.sh consumes it.
+type perfReport struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        uint64  `json:"runs"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+}
 
 func main() {
 	var (
@@ -29,6 +45,8 @@ func main() {
 		measure = flag.Int64("measure", 600_000, "measured cycles per run")
 		verbose = flag.Bool("v", false, "print per-run progress")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		perfOut = flag.String("perf-json", "", "write wall-clock/throughput stats to this file")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -67,9 +85,11 @@ func main() {
 	}
 
 	r := core.NewRunner(*warmup, *measure)
+	r.Workers = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
 	}
+	started := time.Now()
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -100,26 +120,47 @@ func main() {
 		{"ablations", "%.3f", r.Ablations},
 	}
 
+	// Every wanted figure is generated concurrently — each generator
+	// pre-enqueues its runs on the shared worker pool, so the pool stays
+	// saturated across figures — but results print in declaration order,
+	// keeping the output byte-identical to a sequential run.
+	type figResult struct {
+		fig *core.Figure
+		err error
+	}
+	pending := make([]chan figResult, len(figures))
+	for i, f := range figures {
+		if !want(f.name) {
+			continue
+		}
+		ch := make(chan figResult, 1)
+		pending[i] = ch
+		go func(fn figFn) {
+			fig, err := fn()
+			ch <- figResult{fig, err}
+		}(f.fn)
+	}
+
 	ran := 0
 	if want("table1") {
 		fmt.Println("Table 1: baseline quad-core processor parameters")
 		fmt.Println(config.Table1())
 		ran++
 	}
-	for _, f := range figures {
-		if !want(f.name) {
+	for i, f := range figures {
+		if pending[i] == nil {
 			continue
 		}
-		fig, err := f.fn()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", f.name, err)
+		res := <-pending[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", f.name, res.err)
 			os.Exit(1)
 		}
 		if *csvOut {
-			fmt.Print(fig.CSV())
+			fmt.Print(res.fig.CSV())
 			fmt.Println()
 		} else {
-			fmt.Println(fig.Render(f.format))
+			fmt.Println(res.fig.Render(f.format))
 		}
 		ran++
 	}
@@ -135,5 +176,31 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no experiment matched %q\n", *expFlag)
 		os.Exit(2)
+	}
+
+	if *perfOut != "" {
+		wall := time.Since(started).Seconds()
+		workers := *jobs
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rep := perfReport{
+			WallSeconds: wall,
+			Runs:        r.Runs(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Workers:     workers,
+		}
+		if wall > 0 {
+			rep.RunsPerSec = float64(rep.Runs) / wall
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*perfOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

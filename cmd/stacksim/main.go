@@ -5,9 +5,15 @@
 // Usage:
 //
 //	stacksim -config 3D-fast -mix VH1
+//	stacksim -config 3D-fast -mix H1,H2,VH1 -j 4
 //	stacksim -config quadmc -bench S.copy,mcf -measure 1000000
 //	stacksim -config quadmc -mix VH1 -telemetry-dir out/ -sample-every 1000 -trace-events
 //	stacksim -list
+//
+// A comma-separated -mix runs a sweep: the mixes fan out over a worker
+// pool (-j, default GOMAXPROCS) and report in the order given, one
+// summary line per mix. Sweeps exclude -telemetry-dir and -traces,
+// which describe a single run.
 //
 // With -telemetry-dir the run writes manifest.json, timeseries.csv,
 // timeseries.jsonl, distributions.json and (with -trace-events)
@@ -66,6 +72,7 @@ func main() {
 		unified = flag.Bool("unified-mshr", false, "one shared L2 MSHR file instead of per-MC banks")
 		traces  = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
 		list    = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		jobs    = flag.Int("j", 0, "concurrent simulations for a multi-mix sweep (0 = GOMAXPROCS)")
 
 		telemetryDir = flag.String("telemetry-dir", "", "directory for telemetry exports (enables telemetry)")
 		sampleEvery  = flag.Int64("sample-every", 1000, "time-series sample interval in cycles")
@@ -121,6 +128,15 @@ func main() {
 	cfg.CriticalWordFirst = *cwf
 	cfg.SmartRefresh = *smart
 	cfg.MSHRUnified = *unified
+
+	if strings.Contains(*mixName, ",") {
+		if *telemetryDir != "" || *traces != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -telemetry-dir and -traces describe a single run; use one -mix")
+			os.Exit(2)
+		}
+		runSweep(cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure)
+		return
+	}
 
 	var tel *telemetry.Telemetry
 	if *telemetryDir != "" {
@@ -211,6 +227,39 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runSweep fans a comma-separated mix list over the Runner's worker
+// pool and reports one summary line per mix, in the order given. The
+// report is independent of -j: runs are deterministic in isolation and
+// collection follows submission order.
+func runSweep(cfg *config.Config, mixes []string, jobs int, warmup, measure int64) {
+	for i := range mixes {
+		mixes[i] = strings.TrimSpace(mixes[i])
+		if _, ok := workload.MixByName(mixes[i]); !ok {
+			fmt.Fprintf(os.Stderr, "stacksim: unknown mix %q\n", mixes[i])
+			os.Exit(2)
+		}
+	}
+	r := core.NewRunner(warmup, measure)
+	r.Workers = jobs
+	started := time.Now()
+	r.Prefetch(cfg, mixes...)
+	fmt.Printf("config: %s   warmup=%d measured=%d cycles   %d mixes\n",
+		cfg.Name, warmup, measure, len(mixes))
+	for _, mix := range mixes {
+		m, err := r.MixMetrics(cfg, mix)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-4s HMIPC=%.4f  L2miss=%.3f  rowhit=%.3f  busutil=%.3f\n",
+			mix, m.HMIPC, m.L2MissRate, m.RowHitRate, m.BusUtilization)
+	}
+	workers := jobs
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sweep: %d runs in %.2fs (j=%d)\n", r.Runs(), time.Since(started).Seconds(), workers)
 }
 
 // flagValues snapshots every explicitly set flag for the manifest.

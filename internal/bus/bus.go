@@ -102,6 +102,12 @@ func (b *Bus) Instrument(reg *telemetry.Registry, name string) {
 // NextFree reports the earliest cycle a new transfer could start.
 func (b *Bus) NextFree() sim.Cycle { return b.nextFree }
 
+// Idle reports whether the bus has no reservation extending past cycle
+// now. The bus is a passive reservation timeline — it is never ticked —
+// so this is the only state a clock-domain scheduler needs when deciding
+// whether its channel is quiescent.
+func (b *Bus) Idle(now sim.Cycle) bool { return b.nextFree <= now }
+
 // Utilization reports BusyCycles over the given elapsed cycles.
 func (b *Bus) Utilization(elapsed sim.Cycle) float64 {
 	if elapsed <= 0 {

@@ -15,12 +15,29 @@ func (r *Runner) Ablations() (*Figure, error) {
 		Title:   "Ablations: each design choice vs its reference (GM over H,VH mixes)",
 		Columns: []string{"GM(H,VH)"},
 	}
+	// Rows are declared first and collected second, so the full run set
+	// is in the worker pool before the first (in-order) result is awaited.
+	type ablation struct {
+		label     string
+		base, cfg *config.Config
+	}
+	var rows []ablation
 	add := func(label string, base, cfg *config.Config) error {
-		s, err := r.GMSpeedup(base, cfg, HighMixes())
-		if err != nil {
-			return err
+		rows = append(rows, ablation{label, base, cfg})
+		return nil
+	}
+	collect := func() error {
+		for _, a := range rows {
+			r.Prefetch(a.base, HighMixes()...)
+			r.Prefetch(a.cfg, HighMixes()...)
 		}
-		f.Rows = append(f.Rows, FigureRow{Label: label, Values: []float64{s}})
+		for _, a := range rows {
+			s, err := r.GMSpeedup(a.base, a.cfg, HighMixes())
+			if err != nil {
+				return err
+			}
+			f.Rows = append(f.Rows, FigureRow{Label: a.label, Values: []float64{s}})
+		}
 		return nil
 	}
 
@@ -99,6 +116,9 @@ func (r *Runner) Ablations() (*Figure, error) {
 	if err := add("smart refresh (vs quad-MC)", config.QuadMC(), smart); err != nil {
 		return nil, err
 	}
+	if err := collect(); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -113,11 +133,14 @@ func (r *Runner) MSHRBankingFigure() (*Figure, error) {
 		Columns: []string{"banked (Fig5)", "unified"},
 	}
 	base := config.Fast3D()
+	r.Prefetch(base, HighMixes()...)
 	for _, mcs := range []int{1, 2, 4} {
 		banked := config.Aggressive(mcs, 16, 1)
 		unified := config.Aggressive(mcs, 16, 1)
 		unified.MSHRUnified = true
 		unified.Name = banked.Name + "-unified"
+		r.Prefetch(banked, HighMixes()...)
+		r.Prefetch(unified, HighMixes()...)
 		sB, err := r.GMSpeedup(base, banked, HighMixes())
 		if err != nil {
 			return nil, err

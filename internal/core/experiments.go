@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/stats"
@@ -14,19 +17,80 @@ import (
 // harness. Results are keyed by (config name, mix), so configurations
 // compared within one harness invocation must carry distinct names
 // (the config constructors guarantee this).
+//
+// The Runner is safe for concurrent use: MixMetrics, SingleMetrics,
+// Speedup and GMSpeedup may be called from any number of goroutines.
+// Each simulation is an isolated System (its own engine, RNGs and
+// stats), runs execute on a bounded worker pool of Workers goroutines,
+// and every key is simulated exactly once (single-flight): duplicate
+// requests block until the first finishes and share its result. Because
+// every run is deterministic in isolation, the schedule cannot change
+// results — a -j 1 sweep and a fully parallel one produce byte-identical
+// figures, which TestParallelSequentialParity pins.
+//
+// Figure generators pre-enqueue their full run set via Prefetch before
+// collecting results in submission order, so the pool stays saturated
+// while output order stays deterministic.
 type Runner struct {
 	// Warmup/Measure override the config's window when positive.
 	Warmup  int64
 	Measure int64
 	// Progress, when non-nil, receives one line per completed run.
+	// Writes are serialized; line order follows run completion.
 	Progress io.Writer
+	// Workers bounds concurrently executing simulations. 0 means
+	// runtime.GOMAXPROCS(0). Set it before the first run request;
+	// later changes are ignored.
+	Workers int
 
-	memo map[string]Metrics
+	mu   sync.Mutex
+	memo map[string]*inflight
+	sem  chan struct{}
+	runs atomic.Uint64
+
+	progressMu sync.Mutex
+}
+
+// inflight is the single-flight slot for one (config, mix) key. done is
+// closed once m/err are final.
+type inflight struct {
+	done chan struct{}
+	m    Metrics
+	err  error
 }
 
 // NewRunner returns a Runner with the given window override.
 func NewRunner(warmup, measure int64) *Runner {
-	return &Runner{Warmup: warmup, Measure: measure, memo: map[string]Metrics{}}
+	return &Runner{Warmup: warmup, Measure: measure}
+}
+
+// child returns a Runner with different windows that shares this
+// runner's worker pool and progress writer, so nested sweeps (e.g. the
+// stability figure's window sweep) cannot oversubscribe the machine.
+func (r *Runner) child(warmup, measure int64) *Runner {
+	c := NewRunner(warmup, measure)
+	c.Progress = r.Progress
+	c.Workers = r.Workers
+	c.sem = r.pool()
+	return c
+}
+
+// Runs reports the number of simulations executed so far (memo hits and
+// duplicate requests are not counted).
+func (r *Runner) Runs() uint64 { return r.runs.Load() }
+
+// pool returns the worker-slot semaphore, building it on first use.
+func (r *Runner) pool() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sem == nil {
+		n := r.Workers
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, n)
+	}
+	return r.sem
 }
 
 func (r *Runner) apply(cfg *config.Config) *config.Config {
@@ -40,24 +104,79 @@ func (r *Runner) apply(cfg *config.Config) *config.Config {
 	return c
 }
 
+// start returns the single-flight slot for key, launching fn on the
+// worker pool if this is the first request. cfgName and label feed the
+// progress line.
+func (r *Runner) start(key, cfgName, label string, fn func() (Metrics, error)) *inflight {
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = map[string]*inflight{}
+	}
+	if in, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return in
+	}
+	in := &inflight{done: make(chan struct{})}
+	r.memo[key] = in
+	r.mu.Unlock()
+	sem := r.pool()
+	go func() {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		in.m, in.err = fn()
+		if in.err == nil {
+			r.runs.Add(1)
+			if r.Progress != nil {
+				r.progressMu.Lock()
+				fmt.Fprintf(r.Progress, "ran %-28s %-4s HMIPC=%.4f\n", cfgName, label, in.m.HMIPC)
+				r.progressMu.Unlock()
+			}
+		}
+		close(in.done)
+	}()
+	return in
+}
+
+// startMix enqueues (cfg, mix) without waiting. The config is cloned
+// before returning, so callers may mutate cfg afterwards.
+func (r *Runner) startMix(cfg *config.Config, mix string) *inflight {
+	run := r.apply(cfg)
+	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, func() (Metrics, error) {
+		return RunMix(run, mix)
+	})
+}
+
+// startSingle enqueues a stand-alone single-core benchmark run.
+func (r *Runner) startSingle(cfg *config.Config, benchmark string) *inflight {
+	run := r.apply(cfg)
+	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, func() (Metrics, error) {
+		return RunSingle(run, benchmark)
+	})
+}
+
+// Prefetch enqueues each (cfg, mix) run without waiting for results, so
+// a subsequent in-order collection loop finds the pool already
+// saturated. Duplicate keys (already running or memoized) are free.
+func (r *Runner) Prefetch(cfg *config.Config, mixes ...string) {
+	for _, mix := range mixes {
+		r.startMix(cfg, mix)
+	}
+}
+
 // MixMetrics runs (or recalls) the given mix under cfg.
 func (r *Runner) MixMetrics(cfg *config.Config, mix string) (Metrics, error) {
-	if r.memo == nil {
-		r.memo = map[string]Metrics{}
-	}
-	key := cfg.Name + "\x00" + mix
-	if m, ok := r.memo[key]; ok {
-		return m, nil
-	}
-	m, err := RunMix(r.apply(cfg), mix)
-	if err != nil {
-		return Metrics{}, err
-	}
-	r.memo[key] = m
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "ran %-28s %-4s HMIPC=%.4f\n", cfg.Name, mix, m.HMIPC)
-	}
-	return m, nil
+	in := r.startMix(cfg, mix)
+	<-in.done
+	return in.m, in.err
+}
+
+// SingleMetrics runs (or recalls) benchmark alone on core 0 under cfg
+// (Table 2a methodology), through the same memo and worker pool as
+// MixMetrics.
+func (r *Runner) SingleMetrics(cfg *config.Config, benchmark string) (Metrics, error) {
+	in := r.startSingle(cfg, benchmark)
+	<-in.done
+	return in.m, in.err
 }
 
 // Speedup reports cfg's HMIPC on mix relative to base's.
@@ -142,6 +261,7 @@ func (r *Runner) Figure4() (*Figure, error) {
 	}
 	for _, c := range configs {
 		f.Columns = append(f.Columns, c.Name)
+		r.Prefetch(c, AllMixes()...)
 	}
 	for _, mix := range AllMixes() {
 		row := FigureRow{Label: mix}
@@ -193,6 +313,10 @@ func (r *Runner) Figure6a() (*Figure, error) {
 		c.Name = fmt.Sprintf("3D-fast+%dKB-L2", extraKB)
 		variants = append(variants, c)
 	}
+	r.Prefetch(base, AllMixes()...)
+	for _, c := range variants {
+		r.Prefetch(c, AllMixes()...)
+	}
 	for _, c := range variants {
 		row := FigureRow{Label: c.Name}
 		for _, mixes := range [][]string{HighMixes(), AllMixes()} {
@@ -215,6 +339,12 @@ func (r *Runner) Figure6b() (*Figure, error) {
 		ID:      "Fig6b",
 		Title:   "Figure 6b: row-buffer cache entries; speedup over 3D-fast",
 		Columns: []string{"1RB", "2RBs", "3RBs", "4RBs"},
+	}
+	r.Prefetch(base, AllMixes()...)
+	for _, org := range []struct{ mcs, ranks int }{{2, 8}, {4, 16}} {
+		for rb := 1; rb <= 4; rb++ {
+			r.Prefetch(config.Aggressive(org.mcs, org.ranks, rb), AllMixes()...)
+		}
 	}
 	for _, org := range []struct{ mcs, ranks int }{{2, 8}, {4, 16}} {
 		rowH := FigureRow{Label: fmt.Sprintf("%dMC/%dR GM(H,VH)", org.mcs, org.ranks)}
@@ -241,8 +371,10 @@ func (r *Runner) Figure6b() (*Figure, error) {
 // improvement per mix plus GM rows).
 func (r *Runner) mshrFigure(id, title string, base *config.Config, variants []*config.Config) (*Figure, error) {
 	f := &Figure{ID: id, Title: title}
+	r.Prefetch(base, AllMixes()...)
 	for _, c := range variants {
 		f.Columns = append(f.Columns, c.Name[len(base.Name)+1:])
+		r.Prefetch(c, AllMixes()...)
 	}
 	for _, mix := range append(AllMixes(), "GM(H,VH)", "GM(all)") {
 		row := FigureRow{Label: mix}
@@ -314,12 +446,15 @@ func (r *Runner) Table2a() (*Figure, error) {
 		Title:   "Table 2a: stand-alone L2 MPKI (6MB L2, single core)",
 		Columns: []string{"paper MPKI", "measured MPKI"},
 	}
+	cfg := config.Baseline2D()
+	cfg.Cores = 1
+	cfg.L2SizeKB = 6 * 1024
+	cfg.Name = "2D-1core-6MB"
 	for _, spec := range workload.Specs {
-		cfg := config.Baseline2D()
-		cfg.Cores = 1
-		cfg.L2SizeKB = 6 * 1024
-		cfg.Name = "2D-1core-6MB"
-		m, err := RunSingle(r.apply(cfg), spec.Name)
+		r.startSingle(cfg, spec.Name)
+	}
+	for _, spec := range workload.Specs {
+		m, err := r.SingleMetrics(cfg, spec.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -340,6 +475,7 @@ func (r *Runner) Table2b() (*Figure, error) {
 		Columns: []string{"paper HMIPC", "measured HMIPC"},
 	}
 	base := config.Baseline2D()
+	r.Prefetch(base, AllMixes()...)
 	for _, mix := range workload.Mixes {
 		m, err := r.MixMetrics(base, mix.Name)
 		if err != nil {
@@ -370,6 +506,7 @@ func (r *Runner) VBFProbes() (*Figure, error) {
 			label = "quad-MC"
 		}
 		cfg := base.WithMSHR(8, config.MSHRVBF, false)
+		r.Prefetch(cfg, HighMixes()...)
 		var probes []float64
 		for _, mix := range HighMixes() {
 			m, err := r.MixMetrics(cfg, mix)
@@ -392,6 +529,9 @@ func (r *Runner) EnergyFigure() (*Figure, error) {
 		ID:      "Energy",
 		Title:   "Section 4.2: dynamic DRAM energy per access vs row-buffer entries (quad-MC)",
 		Columns: []string{"nJ/access", "row-hit rate"},
+	}
+	for rb := 1; rb <= 4; rb++ {
+		r.Prefetch(config.Aggressive(4, 16, rb), HighMixes()...)
 	}
 	for rb := 1; rb <= 4; rb++ {
 		cfg := config.Aggressive(4, 16, rb)

@@ -22,10 +22,22 @@ func (r *Runner) StabilityFigure() (*Figure, error) {
 	mixes := []string{"VH1", "H1", "M1"}
 
 	// Window sweep at the default seed. Fresh sub-runners are keyed by
-	// window so the memo cannot mix lengths.
-	for _, win := range []int64{200_000, 400_000, 800_000} {
-		sub := NewRunner(win/4, win)
-		sub.Progress = r.Progress
+	// window so the memo cannot mix lengths; they share the parent's
+	// worker pool so the sweep cannot oversubscribe the machine.
+	wins := []int64{200_000, 400_000, 800_000}
+	subs := make([]*Runner, len(wins))
+	for i, win := range wins {
+		subs[i] = r.child(win/4, win)
+		subs[i].Prefetch(config.Fast3D(), mixes...)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := config.Fast3D()
+		cfg.Seed = seed
+		cfg.Name = fmt.Sprintf("%s-seed%d", cfg.Name, seed)
+		r.Prefetch(cfg, mixes...)
+	}
+	for i, win := range wins {
+		sub := subs[i]
 		row := FigureRow{Label: fmt.Sprintf("window %dk cycles", win/1000)}
 		for _, mix := range mixes {
 			m, err := sub.MixMetrics(config.Fast3D(), mix)

@@ -183,7 +183,9 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	}
 
 	// Tick order: cores issue first, then L1 retries, then the L2, then
-	// the controllers, then the tuner.
+	// the controllers, then the tuner. Controllers attach with an idle
+	// fast-path handle so FSB/DRAM-domain cycles with provably no work
+	// (empty MRQ off-edge, no completion or refresh due) are skipped.
 	for _, c := range s.Cores {
 		s.Engine.Register(c)
 	}
@@ -195,7 +197,7 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	}
 	s.Engine.Register(s.L2)
 	for _, mc := range s.MCs {
-		s.Engine.Register(mc)
+		mc.Attach(s.Engine)
 	}
 	if s.Resizer != nil {
 		s.Engine.Register(sim.TickFunc(s.Resizer.Tick))
@@ -230,7 +232,11 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 		}
 	}
 	if tel.Sampler != nil {
-		s.Engine.Register(tel.Sampler)
+		// Registered last so each sample reflects the end of its cycle,
+		// and on the sampler's own interval so non-boundary cycles skip
+		// it entirely. The sampler is per-engine state: concurrent
+		// systems each carry their own.
+		s.Engine.RegisterEvery(int(tel.Sampler.Every()), 0, tel.Sampler)
 	}
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/workload"
+)
+
+// TestTickSchedulingParity pins the second tentpole guarantee: the
+// divider-aware / idle-skip tick scheduling is an optimization only.
+// Running the same system with SetFullTick(true) — the seed engine's
+// tick-everything behavior — must produce bit-identical Metrics.
+//
+// Baseline2D stresses the divider-4 FSB domain, QuadMC the multi-MC
+// wake logic, and the SmartRefresh variant the refresh wake source.
+func TestTickSchedulingParity(t *testing.T) {
+	smart := config.QuadMC()
+	smart.SmartRefresh = true
+	smart.Name = "3D-4mc-16rank-4rb-smartref"
+	configs := []*config.Config{config.Baseline2D(), config.QuadMC(), smart}
+	for _, cfg := range configs {
+		cfg.WarmupCycles = 5_000
+		cfg.MeasureCycles = 20_000
+		mix, ok := workload.MixByName("H1")
+		if !ok {
+			t.Fatal("mix H1 missing")
+		}
+		run := func(fullTick bool) Metrics {
+			sys, err := NewSystem(cfg, mix.Benchmarks[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Engine.SetFullTick(fullTick)
+			return sys.Run()
+		}
+		full := run(true)
+		fast := run(false)
+		if !reflect.DeepEqual(full, fast) {
+			t.Errorf("%s: idle-skip scheduling changed results:\nfull-tick: %+v\nscheduled: %+v", cfg.Name, full, fast)
+		}
+	}
+}

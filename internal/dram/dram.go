@@ -246,6 +246,17 @@ func (r *Rank) Instrument(reg *telemetry.Registry, name string) {
 // RefreshInterval reports tREFI in CPU cycles (0 = disabled).
 func (r *Rank) RefreshInterval() sim.Cycle { return r.interval }
 
+// NextRefresh reports the cycle the next refresh command is due; ok is
+// false when refresh is disabled. Tick is a no-op on cycles before it,
+// so a controller may skip straight to this cycle when it is otherwise
+// idle (the engine's idle fast-path).
+func (r *Rank) NextRefresh() (c sim.Cycle, ok bool) {
+	if r.interval == 0 {
+		return 0, false
+	}
+	return r.next, true
+}
+
 // Tick issues refresh commands when due. All banks in the rank refresh
 // together (all-bank refresh, as in DDR2); with smart refresh enabled,
 // banks whose due row group is fresh skip their command.

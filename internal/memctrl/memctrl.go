@@ -68,6 +68,11 @@ type Controller struct {
 	done  sim.EventQueue
 	stats Stats
 
+	// handle, set by Attach, lets the controller sleep through cycles it
+	// can prove it has no work on. Nil (plain engine.Register wiring)
+	// keeps the seed behaviour of ticking every cycle.
+	handle *sim.TickHandle
+
 	// Telemetry (all nil/zero when disabled): the MRQ delay
 	// distribution, the controller's trace track, and one DRAM track
 	// per owned rank.
@@ -93,6 +98,16 @@ func New(p Params) *Controller {
 		panic("memctrl: LineBytes must be >= 1")
 	}
 	return &Controller{p: p, queue: sim.NewQueue[*mem.Request](p.QueueCap)}
+}
+
+// Attach registers the controller with the engine and enables the idle
+// fast-path: after each tick the controller computes the next cycle it
+// could possibly have work (next FSB/DRAM-domain edge while requests
+// are queued, next in-flight completion, next refresh due) and sleeps
+// until then; Submit re-arms it. Plain engine.Register(c) remains
+// supported and behaves identically, minus the skipping.
+func (c *Controller) Attach(e *sim.Engine) {
+	c.handle = e.RegisterEvery(1, 0, c)
 }
 
 // ID reports the controller index.
@@ -151,6 +166,10 @@ func (c *Controller) Submit(r *mem.Request, now sim.Cycle) bool {
 	}
 	r.Issued = now
 	c.stats.Submitted++
+	// New work: re-arm the tick schedule in case the controller was
+	// sleeping through an idle span. Submitters tick before the
+	// controller, so the request is considered this very cycle.
+	c.handle.Wake()
 	if r.Traced {
 		c.trace.Instant(c.mcTrack, "mrq.enqueue", now,
 			fmt.Sprintf(`{"req":%d,"depth":%d}`, r.ID, c.queue.Len()))
@@ -218,10 +237,17 @@ func (c *Controller) bank(loc mem.Loc) *dram.Bank {
 	return c.p.Ranks[loc.Rank].Banks[loc.Bank]
 }
 
-// Tick advances the controller one CPU cycle: refresh logic runs every
-// cycle, completions are delivered at their exact cycle, and one new
-// command is scheduled on each controller-clock edge.
+// Tick advances the controller one CPU cycle: refresh logic runs when
+// due, completions are delivered at their exact cycle, and one new
+// command is scheduled on each controller-clock edge. When the
+// controller holds an Attach handle it then sleeps until the next cycle
+// any of those can recur, so provably idle cycles are never visited.
 func (c *Controller) Tick(now sim.Cycle) {
+	c.tick(now)
+	c.reschedule(now)
+}
+
+func (c *Controller) tick(now sim.Cycle) {
 	for _, rk := range c.p.Ranks {
 		rk.Tick(now)
 	}
@@ -290,6 +316,41 @@ func (c *Controller) Tick(now sim.Cycle) {
 			c.p.Respond(req, end)
 		}
 	})
+}
+
+// farFuture is the sleep target for a fully quiescent controller; it is
+// only reached if nothing ever re-arms the controller, i.e. never.
+const farFuture = sim.Cycle(1) << 62
+
+// reschedule computes the next cycle at which the controller can
+// possibly do work and sleeps until then. The bound is exact, not
+// heuristic: on every skipped cycle the seed controller's Tick would
+// have been a no-op (refresh not due, no completion due, and either an
+// empty MRQ or a non-edge cycle), so skipping cannot change results.
+func (c *Controller) reschedule(now sim.Cycle) {
+	if c.handle == nil {
+		return
+	}
+	wake := farFuture
+	if !c.queue.Empty() {
+		if c.p.Divider.Ratio() == 1 {
+			// Busy at CPU clock: the next tick is next cycle, and the
+			// handle is already armed (we were just ticked, so sleep <=
+			// now). Skip the wake computation — this is the hot path for
+			// a saturated 3D-stacked controller.
+			return
+		}
+		wake = c.p.Divider.NextEdge(now + 1)
+	}
+	if at, ok := c.done.NextAt(); ok && at < wake {
+		wake = at
+	}
+	for _, rk := range c.p.Ranks {
+		if at, ok := rk.NextRefresh(); ok && at < wake {
+			wake = at
+		}
+	}
+	c.handle.SleepUntil(wake)
 }
 
 // ResetStats zeroes the counters (end of warmup).

@@ -326,6 +326,85 @@ func TestReadPriorityOverWritebacks(t *testing.T) {
 	}
 }
 
+// TestAttachMatchesPlainTicking pins the idle fast-path: a controller
+// Attach-ed to an engine (which skips cycles the controller reported
+// quiescent for) must complete the same requests on the same cycles,
+// with the same stats, as one ticked manually every cycle — including
+// refresh activity, which must wake a sleeping controller on its own.
+func TestAttachMatchesPlainTicking(t *testing.T) {
+	amap := mem.AddrMap{LineBytes: 64, PageBytes: 4096, MCs: 1, RanksPerMC: 1, Banks: 4}
+	timing := dram.Timing{RAS: 30, RCD: 10, CAS: 10, WR: 10, RP: 10, RFC: 40}
+	type completion struct {
+		id uint64
+		at sim.Cycle
+	}
+	// refreshMS=1 at 1 GHz gives a ~122-cycle refresh interval, so the
+	// 600-cycle window crosses several refreshes while the MRQ is empty.
+	mk := func(out *[]completion) *Controller {
+		return New(Params{
+			AMap:      amap,
+			Ranks:     []*dram.Rank{dram.NewRank(timing, 4, 1, 1, 1000)},
+			QueueCap:  8,
+			DataBus:   bus.New(8, 4, false),
+			Divider:   sim.NewDivider(4),
+			FRFCFS:    true,
+			LineBytes: 64,
+			Respond: func(r *mem.Request, now sim.Cycle) {
+				*out = append(*out, completion{r.ID, now})
+			},
+		})
+	}
+	submitAt := map[sim.Cycle][]*mem.Request{}
+	for i := uint64(0); i < 6; i++ {
+		// Staggered submissions with long idle gaps in between.
+		at := sim.Cycle(1 + i*90)
+		submitAt[at] = append(submitAt[at], req(i+1, mem.Addr(i*4096), mem.Read))
+	}
+
+	var plainDone []completion
+	plain := mk(&plainDone)
+	for now := sim.Cycle(1); now <= 600; now++ {
+		for _, r := range submitAt[now] {
+			if !plain.Submit(r, now) {
+				t.Fatalf("plain Submit rejected at %d", now)
+			}
+		}
+		plain.Tick(now)
+	}
+
+	var attDone []completion
+	att := mk(&attDone)
+	eng := sim.NewEngine()
+	att.Attach(eng)
+	for now := sim.Cycle(1); now <= 600; now++ {
+		for _, r := range submitAt[now] {
+			if !att.Submit(r, now) {
+				t.Fatalf("attached Submit rejected at %d", now)
+			}
+		}
+		eng.Step()
+	}
+
+	if len(plainDone) != 6 {
+		t.Fatalf("plain controller completed %d requests, want 6", len(plainDone))
+	}
+	if len(attDone) != len(plainDone) {
+		t.Fatalf("attached controller completed %d requests, plain completed %d", len(attDone), len(plainDone))
+	}
+	for i := range plainDone {
+		if plainDone[i] != attDone[i] {
+			t.Fatalf("completion %d differs: plain %+v vs attached %+v", i, plainDone[i], attDone[i])
+		}
+	}
+	if *plain.Stats() != *att.Stats() {
+		t.Fatalf("stats differ:\nplain:    %+v\nattached: %+v", *plain.Stats(), *att.Stats())
+	}
+	pb, ab := plain.Ranks()[0].Banks[0].Stats(), att.Ranks()[0].Banks[0].Stats()
+	if *pb != *ab {
+		t.Fatalf("bank stats differ:\nplain:    %+v\nattached: %+v", *pb, *ab)
+	}
+}
+
 func TestWritebackReserveRejectsNearFull(t *testing.T) {
 	c, _ := testSetup(t, true, nil) // queue cap 8, reserve 2
 	for i := 0; i < 6; i++ {

@@ -12,7 +12,23 @@
 // ticked in registration order, and any cross-component communication
 // happens through explicit queues, so a given configuration and workload
 // seed always produces the same result.
+//
+// Two scheduling fast-paths keep the hot loop from visiting components
+// that provably have nothing to do, without changing results:
+//
+//   - RegisterEvery(every, phase, t) ticks a component only on its clock
+//     domain's edges (cycles where now%every == phase), instead of every
+//     CPU cycle with an internal edge check.
+//   - The TickHandle returned by RegisterEvery lets a component report
+//     quiescence (SleepUntil) and be skipped until a chosen cycle or
+//     until re-armed (Wake) by whatever hands it new work.
+//
+// Engine.SetFullTick(true) disables both fast-paths, restoring the
+// tick-everything-every-cycle behaviour; parity tests pin that the two
+// modes produce identical simulations.
 package sim
+
+import "fmt"
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
 type Cycle int64
@@ -32,25 +48,92 @@ type TickFunc func(now Cycle)
 // Tick calls f(now).
 func (f TickFunc) Tick(now Cycle) { f(now) }
 
+// tickEntry is one registered component plus its scheduling state: the
+// clock-domain period/phase it ticks on and the cycle (exclusive) it is
+// sleeping until, when its component has reported quiescence.
+type tickEntry struct {
+	t     Ticker
+	every Cycle // tick period in CPU cycles (>= 1)
+	phase Cycle // tick when now%every == phase
+	sleep Cycle // skip while now < sleep (0 = armed)
+}
+
 // Engine drives registered tickers, one call per component per cycle.
 //
 // The zero value is ready to use.
 type Engine struct {
 	now     Cycle
-	tickers []Ticker
+	entries []tickEntry
 	events  EventQueue
+
+	// fullTick forces the seed behaviour: every component ticks every
+	// cycle, ignoring divider registration and sleep. Components keep
+	// their own edge checks, so results are identical either way; the
+	// knob exists so parity tests can pin that equivalence.
+	fullTick bool
 }
 
 // NewEngine returns an empty engine at cycle zero.
 func NewEngine() *Engine { return &Engine{} }
 
-// Register appends t to the tick order. Components registered earlier tick
-// earlier within each cycle.
+// Register appends t to the tick order, ticking every CPU cycle.
+// Components registered earlier tick earlier within each cycle.
 func (e *Engine) Register(t Ticker) {
+	e.RegisterEvery(1, 0, t)
+}
+
+// RegisterEvery appends t to the tick order, ticking only on CPU cycles
+// where now%every == phase — the rising edges of a clock domain whose
+// divider is every (see Divider). Registration order still decides
+// within-cycle ordering against all other components. The returned
+// handle lets the component additionally sleep through provably idle
+// spans; callers that never go idle may discard it.
+func (e *Engine) RegisterEvery(every, phase int, t Ticker) *TickHandle {
 	if t == nil {
-		panic("sim: Register called with nil Ticker")
+		panic("sim: RegisterEvery called with nil Ticker")
 	}
-	e.tickers = append(e.tickers, t)
+	if every < 1 {
+		panic(fmt.Sprintf("sim: RegisterEvery period %d must be >= 1", every))
+	}
+	if phase < 0 || phase >= every {
+		panic(fmt.Sprintf("sim: RegisterEvery phase %d outside [0,%d)", phase, every))
+	}
+	e.entries = append(e.entries, tickEntry{t: t, every: Cycle(every), phase: Cycle(phase)})
+	return &TickHandle{e: e, idx: len(e.entries) - 1}
+}
+
+// SetFullTick toggles the compatibility mode in which every registered
+// component ticks every cycle regardless of divider registration or
+// sleep state. Intended for parity tests and debugging; simulation
+// results are identical either way.
+func (e *Engine) SetFullTick(on bool) { e.fullTick = on }
+
+// TickHandle controls the idle fast-path of one registered component.
+// A nil handle is a no-op on every method, so components can hold one
+// optionally.
+type TickHandle struct {
+	e   *Engine
+	idx int
+}
+
+// SleepUntil suspends the component's ticks on cycles before c. A
+// component may only sleep through cycles it can prove it has no work
+// on; anything that hands it new work must Wake it. Values at or below
+// the next cycle are harmless no-ops.
+func (h *TickHandle) SleepUntil(c Cycle) {
+	if h == nil {
+		return
+	}
+	h.e.entries[h.idx].sleep = c
+}
+
+// Wake re-arms the component immediately: it resumes ticking on the
+// cycle currently being (or next to be) stepped.
+func (h *TickHandle) Wake() {
+	if h == nil {
+		return
+	}
+	h.e.entries[h.idx].sleep = 0
 }
 
 // Now reports the current cycle. During a Tick callback this is the cycle
@@ -65,12 +148,22 @@ func (e *Engine) Schedule(c Cycle, f func()) { e.events.At(c, f) }
 func (e *Engine) After(d Cycle, f func()) { e.events.At(e.now+d, f) }
 
 // Step advances simulated time by one cycle: due events fire first, then
-// every registered ticker runs once.
+// every registered ticker whose domain has an edge this cycle (and that
+// is not sleeping) runs once, in registration order.
 func (e *Engine) Step() {
 	e.now++
 	e.events.FireDue(e.now)
-	for _, t := range e.tickers {
-		t.Tick(e.now)
+	for i := range e.entries {
+		en := &e.entries[i]
+		if !e.fullTick {
+			if en.sleep > e.now {
+				continue
+			}
+			if en.every > 1 && e.now%en.every != en.phase {
+				continue
+			}
+		}
+		en.t.Tick(e.now)
 	}
 }
 
@@ -82,13 +175,16 @@ func (e *Engine) Run(n Cycle) {
 }
 
 // RunUntil steps the simulation until done() reports true or max cycles
-// have elapsed, and returns the number of cycles stepped.
-func (e *Engine) RunUntil(done func() bool, max Cycle) Cycle {
+// have elapsed. It returns the number of cycles stepped and whether the
+// predicate was satisfied; done() is checked before each step and once
+// more after the final one, so a predicate first satisfied exactly on
+// the max-th cycle reports done rather than a timeout.
+func (e *Engine) RunUntil(done func() bool, max Cycle) (stepped Cycle, ok bool) {
 	for i := Cycle(0); i < max; i++ {
 		if done() {
-			return i
+			return i, true
 		}
 		e.Step()
 	}
-	return max
+	return max, done()
 }

@@ -64,13 +64,184 @@ func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	count := 0
 	e.Register(TickFunc(func(Cycle) { count++ }))
-	n := e.RunUntil(func() bool { return count >= 4 }, 100)
-	if n != 4 {
-		t.Fatalf("RunUntil returned %d, want 4", n)
+	n, ok := e.RunUntil(func() bool { return count >= 4 }, 100)
+	if n != 4 || !ok {
+		t.Fatalf("RunUntil returned %d,%v, want 4,true", n, ok)
 	}
-	n = e.RunUntil(func() bool { return false }, 10)
-	if n != 10 {
-		t.Fatalf("RunUntil(never) returned %d, want 10 (max)", n)
+	n, ok = e.RunUntil(func() bool { return false }, 10)
+	if n != 10 || ok {
+		t.Fatalf("RunUntil(never) returned %d,%v, want 10,false (timeout)", n, ok)
+	}
+}
+
+func TestEngineRunUntilDoneOnFinalStep(t *testing.T) {
+	// A predicate first satisfied by the max-th Step must be reported as
+	// done, not as a timeout: the engine checks done() once more after
+	// the final step.
+	e := NewEngine()
+	count := 0
+	e.Register(TickFunc(func(Cycle) { count++ }))
+	n, ok := e.RunUntil(func() bool { return count >= 5 }, 5)
+	if n != 5 || !ok {
+		t.Fatalf("RunUntil(done on max-th cycle) = %d,%v, want 5,true", n, ok)
+	}
+}
+
+func TestRegisterEveryTicksOnDomainEdges(t *testing.T) {
+	e := NewEngine()
+	var every1, every4, phased []Cycle
+	e.Register(TickFunc(func(now Cycle) { every1 = append(every1, now) }))
+	e.RegisterEvery(4, 0, TickFunc(func(now Cycle) { every4 = append(every4, now) }))
+	e.RegisterEvery(4, 3, TickFunc(func(now Cycle) { phased = append(phased, now) }))
+	e.Run(9)
+	if len(every1) != 9 {
+		t.Fatalf("every-cycle ticker ran %d times, want 9", len(every1))
+	}
+	if want := []Cycle{4, 8}; len(every4) != 2 || every4[0] != want[0] || every4[1] != want[1] {
+		t.Fatalf("divider-4 ticker ran at %v, want %v", every4, want)
+	}
+	if want := []Cycle{3, 7}; len(phased) != 2 || phased[0] != want[0] || phased[1] != want[1] {
+		t.Fatalf("phase-3 ticker ran at %v, want %v", phased, want)
+	}
+}
+
+func TestRegisterEveryMatchesDividerEdges(t *testing.T) {
+	// RegisterEvery(d, 0, t) must tick on exactly the cycles where
+	// Divider{d}.Edge(now) holds — the contract the migrated clock-domain
+	// components rely on.
+	for _, ratio := range []int{1, 2, 4, 7} {
+		e := NewEngine()
+		d := NewDivider(ratio)
+		var ticked, edges []Cycle
+		e.RegisterEvery(ratio, 0, TickFunc(func(now Cycle) { ticked = append(ticked, now) }))
+		e.Register(TickFunc(func(now Cycle) {
+			if d.Edge(now) {
+				edges = append(edges, now)
+			}
+		}))
+		e.Run(20)
+		if len(ticked) != len(edges) {
+			t.Fatalf("ratio %d: %d ticks vs %d edges", ratio, len(ticked), len(edges))
+		}
+		for i := range ticked {
+			if ticked[i] != edges[i] {
+				t.Fatalf("ratio %d: tick %d at %d, edge at %d", ratio, i, ticked[i], edges[i])
+			}
+		}
+	}
+}
+
+func TestRegisterEveryValidation(t *testing.T) {
+	for _, tc := range []struct{ every, phase int }{{0, 0}, {4, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RegisterEvery(%d, %d) did not panic", tc.every, tc.phase)
+				}
+			}()
+			NewEngine().RegisterEvery(tc.every, tc.phase, TickFunc(func(Cycle) {}))
+		}()
+	}
+}
+
+func TestTickHandleSleepAndWake(t *testing.T) {
+	e := NewEngine()
+	var ticked []Cycle
+	h := e.RegisterEvery(1, 0, TickFunc(func(now Cycle) { ticked = append(ticked, now) }))
+	e.Run(2) // cycles 1,2
+	h.SleepUntil(6)
+	e.Run(2) // 3,4 skipped
+	h.Wake()
+	e.Run(2) // 5,6 ticked (woken early)
+	h.SleepUntil(9)
+	e.Run(4) // 7,8 skipped; 9,10 ticked
+	want := []Cycle{1, 2, 5, 6, 9, 10}
+	if len(ticked) != len(want) {
+		t.Fatalf("ticked %v, want %v", ticked, want)
+	}
+	for i := range want {
+		if ticked[i] != want[i] {
+			t.Fatalf("ticked %v, want %v", ticked, want)
+		}
+	}
+	// A nil handle is a no-op.
+	var nh *TickHandle
+	nh.SleepUntil(100)
+	nh.Wake()
+}
+
+func TestSetFullTickOverridesScheduling(t *testing.T) {
+	e := NewEngine()
+	e.SetFullTick(true)
+	divided, slept := 0, 0
+	e.RegisterEvery(4, 0, TickFunc(func(Cycle) { divided++ }))
+	h := e.RegisterEvery(1, 0, TickFunc(func(Cycle) { slept++ }))
+	h.SleepUntil(1 << 60)
+	e.Run(8)
+	if divided != 8 || slept != 8 {
+		t.Fatalf("full-tick ran %d/%d ticks, want 8/8", divided, slept)
+	}
+}
+
+// TestIdleSkipCycleParity drives the same toy pipeline twice — once with
+// plain every-cycle registration, once divider-registered with an idle
+// fast-path — and asserts the observable work happens on identical
+// cycles. This is the engine-level half of the parity the core-level
+// regression suite pins on full systems.
+func TestIdleSkipCycleParity(t *testing.T) {
+	type producerConsumer struct {
+		engine *Engine
+		queue  []Cycle
+		served []Cycle
+	}
+	// The consumer serves one queued item per divider-4 edge.
+	build := func(fast bool) *producerConsumer {
+		pc := &producerConsumer{engine: NewEngine()}
+		d := NewDivider(4)
+		var h *TickHandle
+		consume := TickFunc(func(now Cycle) {
+			if !fast && !d.Edge(now) {
+				return
+			}
+			if len(pc.queue) > 0 {
+				pc.queue = pc.queue[1:]
+				pc.served = append(pc.served, now)
+			}
+			if fast {
+				if len(pc.queue) == 0 {
+					h.SleepUntil(1 << 60) // quiescent until re-armed
+				} else {
+					h.SleepUntil(d.NextEdge(now + 1))
+				}
+			}
+		})
+		produce := TickFunc(func(now Cycle) {
+			if now%7 == 1 { // bursty arrivals
+				pc.queue = append(pc.queue, now)
+				h.Wake()
+			}
+		})
+		pc.engine.Register(produce) // producer first, as in the real system
+		if fast {
+			h = pc.engine.RegisterEvery(4, 0, consume)
+		} else {
+			pc.engine.Register(consume)
+		}
+		return pc
+	}
+	plain, fast := build(false), build(true)
+	plain.engine.Run(200)
+	fast.engine.Run(200)
+	if len(plain.served) == 0 {
+		t.Fatal("toy pipeline served nothing")
+	}
+	if len(plain.served) != len(fast.served) {
+		t.Fatalf("served %d vs %d items", len(plain.served), len(fast.served))
+	}
+	for i := range plain.served {
+		if plain.served[i] != fast.served[i] {
+			t.Fatalf("item %d served at %d (plain) vs %d (fast)", i, plain.served[i], fast.served[i])
+		}
 	}
 }
 

@@ -40,6 +40,17 @@ func NewSampler(reg *Registry, every sim.Cycle) *Sampler {
 	return &Sampler{reg: reg, every: every}
 }
 
+// Every reports the sample interval in cycles. Callers wiring the
+// sampler into an engine may register it with RegisterEvery(Every(), 0)
+// so non-boundary cycles are skipped entirely; Tick keeps its own
+// boundary check so plain Register wiring stays correct too.
+func (s *Sampler) Every() sim.Cycle {
+	if s == nil {
+		return 1
+	}
+	return s.every
+}
+
 // Tick snapshots the registry on sample boundaries.
 func (s *Sampler) Tick(now sim.Cycle) {
 	if s == nil || now%s.every != 0 {

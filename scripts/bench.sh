@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Performance harness for stackedsim.
+#
+# Two measurements:
+#   1. The root micro/figure benchmarks (single-run hot-loop speed) —
+#      compare ns/op against a previous run to catch single-run
+#      regressions (the PR gate is within +/-2%).
+#   2. A reduced-window experiment sweep, sequential (-j 1) vs
+#      parallel (-j 0 = GOMAXPROCS), emitting BENCH_sweep.json with
+#      wall seconds, runs/sec and the measured speedup.
+#
+# Usage: scripts/bench.sh [outdir]   (default outdir: results)
+#
+# On a single-core machine the parallel sweep degenerates to the
+# sequential one, so the reported speedup is ~1.0; the >=2x expectation
+# only applies on >=4-core machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+outdir=${1:-results}
+mkdir -p "$outdir"
+
+echo "== root benchmarks (go test -bench . -benchtime 1x)"
+go test -run '^$' -bench . -benchtime 1x . | tee "$outdir/BENCH_root.txt"
+
+echo "== building cmd/experiments"
+bin=$(mktemp -d)/experiments
+go build -o "$bin" ./cmd/experiments
+
+sweep="-exp fig4,fig6b,table2b -warmup 20000 -measure 60000"
+echo "== sequential sweep (-j 1): $sweep"
+# shellcheck disable=SC2086 # $sweep is a word list by design
+"$bin" $sweep -j 1 -perf-json "$outdir/perf_seq.json" > /dev/null
+echo "== parallel sweep (-j 0 = GOMAXPROCS): $sweep"
+# shellcheck disable=SC2086
+"$bin" $sweep -j 0 -perf-json "$outdir/perf_par.json" > /dev/null
+
+# Merge the two perf reports into BENCH_sweep.json. awk keeps the
+# script dependency-free (jq may be absent on minimal builders).
+json_field() {
+    awk -F'[:,]' -v key="\"$2\"" '$1 ~ key { gsub(/[ \t]/, "", $2); print $2 }' "$1"
+}
+seq_wall=$(json_field "$outdir/perf_seq.json" wall_seconds)
+par_wall=$(json_field "$outdir/perf_par.json" wall_seconds)
+runs=$(json_field "$outdir/perf_par.json" runs)
+gomaxprocs=$(json_field "$outdir/perf_par.json" gomaxprocs)
+workers=$(json_field "$outdir/perf_par.json" workers)
+speedup=$(awk -v s="$seq_wall" -v p="$par_wall" 'BEGIN { printf "%.3f", (p > 0) ? s / p : 0 }')
+seq_rps=$(awk -v r="$runs" -v w="$seq_wall" 'BEGIN { printf "%.3f", (w > 0) ? r / w : 0 }')
+par_rps=$(awk -v r="$runs" -v w="$par_wall" 'BEGIN { printf "%.3f", (w > 0) ? r / w : 0 }')
+
+cat > "$outdir/BENCH_sweep.json" <<EOF
+{
+  "sweep": "fig4,fig6b,table2b @ warmup=20000 measure=60000",
+  "runs": $runs,
+  "gomaxprocs": $gomaxprocs,
+  "workers_parallel": $workers,
+  "sequential_wall_seconds": $seq_wall,
+  "parallel_wall_seconds": $par_wall,
+  "sequential_runs_per_sec": $seq_rps,
+  "parallel_runs_per_sec": $par_rps,
+  "parallel_speedup": $speedup
+}
+EOF
+echo "== $outdir/BENCH_sweep.json"
+cat "$outdir/BENCH_sweep.json"
