@@ -26,6 +26,7 @@ import (
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/floorplan"
+	"stackedsim/internal/monitor"
 	"stackedsim/internal/thermal"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		perfOut = flag.String("perf-json", "", "write wall-clock/throughput stats to this file")
+		monAddr = flag.String("monitor-addr", "", "serve live runner progress (/metrics, /snapshot, /healthz, pprof) on this address")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -88,6 +90,23 @@ func main() {
 	r.Workers = *jobs
 	if *verbose {
 		r.Progress = os.Stderr
+	}
+
+	// A long sweep is a black box until it exits; the monitor makes the
+	// fleet observable live (queued/running/completed runs plus pprof
+	// for the process itself). Simulations own their (per-run, private)
+	// registries, so only runner progress is served here.
+	if *monAddr != "" {
+		mon := &monitor.Server{ProgressFn: func() monitor.Progress {
+			st := r.Status()
+			return monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed, Failed: st.Failed}
+		}}
+		if err := mon.Start(*monAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: serving runner progress on %s\n", mon.Addr())
 	}
 	started := time.Now()
 

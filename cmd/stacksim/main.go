@@ -16,23 +16,30 @@
 // which describe a single run.
 //
 // With -telemetry-dir the run writes manifest.json, timeseries.csv,
-// timeseries.jsonl, distributions.json and (with -trace-events)
-// trace.json into the directory; see docs/OBSERVABILITY.md.
+// timeseries.jsonl, distributions.json, attrib.json and (with
+// -trace-events) trace.json into the directory, and prints the
+// memory-latency attribution table (disable with -attrib=false).
+// -monitor-addr serves /metrics, /snapshot, /healthz and pprof live
+// during the run; see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/cpu"
+	"stackedsim/internal/monitor"
 	"stackedsim/internal/telemetry"
 	"stackedsim/internal/trace"
 	"stackedsim/internal/workload"
@@ -78,11 +85,14 @@ func main() {
 		sampleEvery  = flag.Int64("sample-every", 1000, "time-series sample interval in cycles")
 		traceEvents  = flag.Bool("trace-events", false, "emit Chrome trace_event JSON for sampled request lifecycles")
 		traceSample  = flag.Int("trace-sample", 64, "trace 1 in N demand-miss lifecycles")
+		attribOn     = flag.Bool("attrib", true, "memory-latency attribution (cycle accounting) when telemetry is enabled")
+		monitorAddr  = flag.String("monitor-addr", "", "serve /metrics, /snapshot, /healthz and pprof on this address during the run")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName)
 
 	if *list {
 		fmt.Println("benchmarks (Table 2a):")
@@ -137,6 +147,10 @@ func main() {
 		runSweep(cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure)
 		return
 	}
+	if *jobs > 1 {
+		fmt.Fprintln(os.Stderr, "stacksim: -j only applies to a multi-mix sweep (comma-separated -mix)")
+		os.Exit(2)
+	}
 
 	var tel *telemetry.Telemetry
 	if *telemetryDir != "" {
@@ -190,16 +204,52 @@ func main() {
 	}
 	sys.AttachTelemetry(tel)
 
+	// Cycle accounting rides on the telemetry registry; its nil-safe
+	// tags make -attrib=false (or no telemetry at all) cost one nil
+	// check per demand miss.
+	var col *attrib.Collector
+	if tel != nil && *attribOn {
+		col = sys.NewAttribCollector(tel.Reg())
+		sys.AttachAttrib(col)
+	}
+
+	// The live monitor snapshots the registry from the simulation
+	// goroutine at the sampling cadence; HTTP handlers only ever read
+	// the published snapshot, so a slow scraper cannot block a cycle.
+	var mon *monitor.Server
+	if *monitorAddr != "" {
+		mon = &monitor.Server{Registry: tel.Reg()}
+		if col != nil {
+			mon.AttribFn = col.Breakdown
+		}
+		if err := mon.Start(*monitorAddr); err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Printf("monitor: serving /metrics /snapshot /healthz and /debug/pprof on %s\n", mon.Addr())
+		// -sample-every 0 disables the time-series but the monitor
+		// still needs a snapshot cadence; fall back to the default.
+		collectEvery := int(*sampleEvery)
+		if collectEvery < 1 {
+			collectEvery = 1000
+		}
+		sys.Engine.RegisterEvery(collectEvery, 0, mon)
+	}
+
 	started := time.Now()
 	m := sys.Run()
 	report(cfg, m)
+	if mon != nil {
+		// Publish the end-of-run state for scrapes that outlive the run.
+		mon.Collect(sys.Engine.Now())
+	}
+	if col != nil {
+		fmt.Print(col.Breakdown().Table())
+	}
 
 	if tel != nil {
-		// Close the series on the final cycle if it missed a boundary,
-		// then export everything alongside the manifest.
-		if tel.Sampler != nil && int64(sys.Engine.Now())%*sampleEvery != 0 {
-			tel.Sampler.Snapshot(sys.Engine.Now())
-		}
+		// Export everything alongside the manifest (the sampler closes
+		// its series on the final cycle during Export).
 		err := tel.Export(telemetry.Manifest{
 			Config:      cfg.Name,
 			Seed:        cfg.Seed,
@@ -212,6 +262,11 @@ func main() {
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if col != nil {
+			if err := writeAttribJSON(filepath.Join(*telemetryDir, "attrib.json"), col.Breakdown()); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("telemetry: exports written to %s\n", *telemetryDir)
 	}
@@ -227,6 +282,49 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// validateFlags rejects flag combinations that would otherwise be
+// silent no-ops: the telemetry sub-flags do nothing without
+// -telemetry-dir, and the monitor serves a single run's registry, so
+// it conflicts with sweep mode.
+func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName string) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if telemetryDir == "" {
+		for _, name := range []string{"sample-every", "trace-events", "trace-sample", "attrib"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "stacksim: -%s does nothing without -telemetry-dir; add -telemetry-dir <dir>\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	// 0 is meaningful (disable the time-series, keep the other
+	// exports); only negative intervals are nonsense.
+	if sampleEvery < 0 {
+		fmt.Fprintln(os.Stderr, "stacksim: -sample-every must be >= 0 cycles (0 disables the time-series)")
+		os.Exit(2)
+	}
+	if monitorAddr != "" {
+		if strings.Contains(mixName, ",") {
+			fmt.Fprintln(os.Stderr, "stacksim: -monitor-addr serves a single run; it conflicts with a multi-mix sweep (use cmd/experiments -monitor-addr for fleet progress)")
+			os.Exit(2)
+		}
+		if telemetryDir == "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -monitor-addr needs the telemetry registry; add -telemetry-dir <dir>")
+			os.Exit(2)
+		}
+	}
+}
+
+// writeAttribJSON exports the attribution breakdown next to the other
+// telemetry artifacts.
+func writeAttribJSON(path string, b *attrib.Breakdown) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runSweep fans a comma-separated mix list over the Runner's worker

@@ -1,0 +1,261 @@
+// Command statsdiff compares two telemetry time-series exports (the
+// timeseries.csv or timeseries.jsonl a -telemetry-dir run writes) and
+// prints per-metric deltas of their final samples — the run-end
+// cumulative totals. With -threshold it becomes a perf-regression
+// gate: any metric whose relative change exceeds the threshold is a
+// breach and the exit status is non-zero.
+//
+// Usage:
+//
+//	statsdiff old/timeseries.csv new/timeseries.csv
+//	statsdiff -threshold 0.05 -match 'mc0.' old.jsonl new.jsonl
+//	statsdiff -all old.csv new.csv
+//
+// Metrics present in only one export are reported (as added/removed)
+// but never count as breaches: growing the instrumentation must not
+// fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0, "relative change that counts as a breach (0 = report only, never fail)")
+		match     = flag.String("match", "", "only compare metrics whose name contains this substring")
+		all       = flag.Bool("all", false, "also print unchanged metrics")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: statsdiff [flags] <old export> <new export>\n")
+		fmt.Fprintf(os.Stderr, "exports are timeseries.csv or timeseries.jsonl files from a -telemetry-dir run\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldVals, err := loadExport(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newVals, err := loadExport(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, breaches := diff(oldVals, newVals, *threshold, *match)
+	printed := 0
+	for _, r := range rows {
+		if !*all && r.kind == diffSame {
+			continue
+		}
+		fmt.Println(r.line)
+		printed++
+	}
+	fmt.Printf("statsdiff: %d metrics compared, %d changed, %d breaches (threshold %g)\n",
+		len(rows), changed(rows), breaches, *threshold)
+	if breaches > 0 {
+		os.Exit(1)
+	}
+}
+
+type diffKind int
+
+const (
+	diffSame diffKind = iota
+	diffChanged
+	diffBreach
+	diffOnlyOld
+	diffOnlyNew
+)
+
+type diffRow struct {
+	name string
+	kind diffKind
+	line string
+}
+
+func changed(rows []diffRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.kind != diffSame {
+			n++
+		}
+	}
+	return n
+}
+
+// diff compares the two final samples metric by metric. A breach is a
+// metric present in both whose relative change magnitude exceeds
+// threshold (> 0); against a zero baseline any nonzero new value
+// breaches.
+func diff(oldVals, newVals map[string]float64, threshold float64, match string) (rows []diffRow, breaches int) {
+	names := make(map[string]bool, len(oldVals)+len(newVals))
+	for n := range oldVals {
+		names[n] = true
+	}
+	for n := range newVals {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		if match == "" || strings.Contains(n, match) {
+			ordered = append(ordered, n)
+		}
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		ov, hasOld := oldVals[name]
+		nv, hasNew := newVals[name]
+		switch {
+		case !hasOld:
+			rows = append(rows, diffRow{name, diffOnlyNew,
+				fmt.Sprintf("  + %-32s %14s -> %14g (new metric)", name, "-", nv)})
+		case !hasNew:
+			rows = append(rows, diffRow{name, diffOnlyOld,
+				fmt.Sprintf("  - %-32s %14g -> %14s (removed)", name, ov, "-")})
+		case ov == nv:
+			rows = append(rows, diffRow{name, diffSame,
+				fmt.Sprintf("    %-32s %14g (unchanged)", name, ov)})
+		default:
+			rel := relChange(ov, nv)
+			kind := diffChanged
+			mark := " "
+			if threshold > 0 && rel > threshold {
+				kind = diffBreach
+				mark = "!"
+				breaches++
+			}
+			rows = append(rows, diffRow{name, kind,
+				fmt.Sprintf("  %s %-32s %14g -> %14g (%+.2f%%)", mark, name, ov, nv, 100*signedRel(ov, nv))})
+		}
+	}
+	return rows, breaches
+}
+
+// relChange is the magnitude of the relative change |new-old|/|old|;
+// a zero baseline with a nonzero new value reports +Inf-like 1e18 so
+// any positive threshold breaches.
+func relChange(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv == 0 {
+			return 0
+		}
+		return 1e18
+	}
+	d := (nv - ov) / ov
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// signedRel is the signed relative change for display (0 baseline
+// renders as ±100%).
+func signedRel(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv > 0 {
+			return 1
+		}
+		if nv < 0 {
+			return -1
+		}
+		return 0
+	}
+	return (nv - ov) / ov
+}
+
+// loadExport reads a telemetry export and returns the final sample's
+// metric values. The format is chosen by suffix: .jsonl parses one
+// JSON object per line, anything else parses the sampler's CSV.
+func loadExport(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return loadJSONL(f, path)
+	}
+	return loadCSV(f, path)
+}
+
+func loadCSV(f *os.File, path string) (map[string]float64, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%s: empty export", path)
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 1 || header[0] != "cycle" {
+		return nil, fmt.Errorf("%s: not a telemetry CSV (header starts %q, want \"cycle\")", path, header[0])
+	}
+	var last string
+	for sc.Scan() {
+		if t := strings.TrimSpace(sc.Text()); t != "" {
+			last = t
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if last == "" {
+		return nil, fmt.Errorf("%s: no samples", path)
+	}
+	cells := strings.Split(last, ",")
+	if len(cells) != len(header) {
+		return nil, fmt.Errorf("%s: final row has %d cells, header has %d", path, len(cells), len(header))
+	}
+	vals := make(map[string]float64, len(header)-1)
+	for i := 1; i < len(header); i++ {
+		v, err := strconv.ParseFloat(cells[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: metric %s: %w", path, header[i], err)
+		}
+		vals[header[i]] = v
+	}
+	return vals, nil
+}
+
+func loadJSONL(f *os.File, path string) (map[string]float64, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var last string
+	for sc.Scan() {
+		if t := strings.TrimSpace(sc.Text()); t != "" {
+			last = t
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if last == "" {
+		return nil, fmt.Errorf("%s: empty export", path)
+	}
+	var row struct {
+		Cycle   int64              `json:"cycle"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(last), &row); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if row.Metrics == nil {
+		return nil, fmt.Errorf("%s: final line has no metrics object", path)
+	}
+	return row.Metrics, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "statsdiff: %v\n", err)
+	os.Exit(2)
+}

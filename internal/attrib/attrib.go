@@ -1,0 +1,468 @@
+// Package attrib implements end-to-end memory-latency attribution
+// (cycle accounting) for demand L2 misses: every miss carries a Tag
+// stamped with per-stage timestamps as it flows L2 miss → MSHR
+// alloc/wait → MC queue → DRAM array (ACT/CAS/precharge or
+// row-buffer-cache hit) → channel burst → fill, and a Collector
+// accumulates the per-stage cycle sums and histograms into the
+// telemetry registry under "attrib.*" names.
+//
+// The decomposition is conservative by construction: the four stage
+// durations are consecutive differences over the timestamp chain, so
+// for every finished miss they sum exactly to the end-to-end miss
+// latency (pinned by internal/core's conservation test). That is what
+// makes a reported speedup decomposable — "quad-MC shortened the queue
+// stage, not the array stage" is a statement about these sums.
+//
+// Like internal/telemetry, the subsystem is nil-safe end to end: a nil
+// *Collector hands out nil *Tags, and every stamp on a nil tag is a
+// no-op, so instrumented components pay one nil check when attribution
+// is disabled and simulation results are bit-identical either way.
+package attrib
+
+import (
+	"fmt"
+	"strings"
+
+	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
+)
+
+// Stage indexes one interval of a demand miss's lifetime.
+type Stage int
+
+const (
+	// StageMSHR runs from L2 miss detection to MRQ acceptance: probe
+	// serialization, full-MSHR set-aside wait, and full-MRQ retries.
+	StageMSHR Stage = iota
+	// StageQueue runs from MRQ acceptance to the scheduler picking the
+	// request (FR-FCFS queueing plus controller-clock edge alignment).
+	StageQueue
+	// StageDRAM runs from scheduling to the array delivering data:
+	// ACT/CAS (and any precharge/write-recovery) on a row miss, CAS
+	// alone on a row-buffer-cache hit.
+	StageDRAM
+	// StageBus runs from array delivery to completion: waiting for the
+	// channel data bus plus the burst itself (shortened under
+	// critical-word-first delivery).
+	StageBus
+	// NumStages counts the stages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"mshr", "queue", "dram", "bus"}
+
+func (s Stage) String() string {
+	if s >= 0 && s < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Tag rides one demand L2 miss from detection to fill. Components
+// stamp it through nil-safe methods; unset checkpoints stay zero
+// (cycle 0 precedes every simulated event) and collapse their stage to
+// zero cycles in Stages.
+type Tag struct {
+	Core int
+	MC   int
+	Rank int
+	// RowHit records whether the DRAM access hit an open row or
+	// row-buffer-cache entry.
+	RowHit bool
+	// Merged marks a secondary miss that joined a live MSHR entry; its
+	// stages overlap the primary's, so only its end-to-end latency is
+	// recorded (into attrib.merged.latency).
+	Merged bool
+
+	MissAt  sim.Cycle // L2 detected the demand miss
+	AllocAt sim.Cycle // MSHR entry allocation completed
+	QueueAt sim.Cycle // accepted into the MC's MRQ
+	SchedAt sim.Cycle // MC scheduler picked the request
+	DataAt  sim.Cycle // DRAM array delivered the line
+	BurstAt sim.Cycle // burst started on the channel data bus
+	DoneAt  sim.Cycle // completion reached the L2 fill
+
+	// DRAM micro-phases: cycles within StageDRAM spent in each timing
+	// phase of the array access (all but CAS are zero on a row hit).
+	WriteRec  sim.Cycle
+	Precharge sim.Cycle
+	Activate  sim.Cycle
+	CAS       sim.Cycle
+}
+
+// Alloc stamps MSHR allocation completion.
+func (t *Tag) Alloc(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.AllocAt = now
+}
+
+// MarkMerged marks the tag as a secondary (merged) miss.
+func (t *Tag) MarkMerged() {
+	if t == nil {
+		return
+	}
+	t.Merged = true
+}
+
+// EnterQueue stamps acceptance into controller mc's MRQ.
+func (t *Tag) EnterQueue(now sim.Cycle, mc int) {
+	if t == nil {
+		return
+	}
+	t.QueueAt = now
+	t.MC = mc
+}
+
+// Sched stamps the scheduler pick and the serving rank.
+func (t *Tag) Sched(now sim.Cycle, rank int) {
+	if t == nil {
+		return
+	}
+	t.SchedAt = now
+	t.Rank = rank
+}
+
+// Data stamps array delivery and whether it was a row-buffer hit.
+func (t *Tag) Data(at sim.Cycle, rowHit bool) {
+	if t == nil {
+		return
+	}
+	t.DataAt = at
+	t.RowHit = rowHit
+}
+
+// Burst stamps the start of the channel data-bus burst.
+func (t *Tag) Burst(at sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.BurstAt = at
+}
+
+// DRAMPhases records the timing-phase split of the array access.
+func (t *Tag) DRAMPhases(writeRec, precharge, activate, cas sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.WriteRec, t.Precharge, t.Activate, t.CAS = writeRec, precharge, activate, cas
+}
+
+// Total reports the end-to-end miss latency.
+func (t *Tag) Total() sim.Cycle { return t.DoneAt - t.MissAt }
+
+// Stages decomposes the lifetime into the four consecutive intervals.
+// Unreached checkpoints (e.g. a miss whose line was filled by another
+// request while it waited for MSHR space and so never visited the MC)
+// collapse to the next stamped one, attributing the whole wait to the
+// stage the request was actually stuck in; the stage sum therefore
+// telescopes to exactly Total() for every finished tag.
+func (t *Tag) Stages() [NumStages]sim.Cycle {
+	q, s, d := t.QueueAt, t.SchedAt, t.DataAt
+	if q == 0 {
+		q = t.DoneAt
+	}
+	if s == 0 {
+		s = t.DoneAt
+	}
+	if d == 0 {
+		d = t.DoneAt
+	}
+	return [NumStages]sim.Cycle{q - t.MissAt, s - q, d - s, t.DoneAt - d}
+}
+
+// latencyBuckets sizes the end-to-end and per-stage histograms: miss
+// latencies reach several hundred CPU cycles on the 2D organization,
+// well past the registry's default 256 buckets.
+const latencyBuckets = 4096
+
+// Collector owns the "attrib.*" metrics and folds finished tags into
+// them: global per-stage sums and histograms, plus per-core, per-MC
+// and per-rank cycle sums. A nil *Collector is the disabled state.
+type Collector struct {
+	requests  *telemetry.Counter
+	merged    *telemetry.Counter
+	rowHits   *telemetry.Counter
+	latency   *telemetry.Distribution
+	mergedLat *telemetry.Distribution
+
+	stageCycles [NumStages]*telemetry.Counter
+	stageDist   [NumStages]*telemetry.Distribution
+
+	phaseWriteRec  *telemetry.Counter
+	phasePrecharge *telemetry.Counter
+	phaseActivate  *telemetry.Counter
+	phaseCAS       *telemetry.Counter
+
+	coreReqs   []*telemetry.Counter
+	coreCycles [][NumStages]*telemetry.Counter
+	mcReqs     []*telemetry.Counter
+	mcCycles   [][NumStages]*telemetry.Counter
+	rankReqs   []*telemetry.Counter
+	rankDRAM   []*telemetry.Counter
+	ranksPerMC int
+
+	// Check, when set, receives every finished primary tag before it is
+	// accumulated; the conservation tests use it to assert the stage
+	// sum equals the end-to-end latency on live traffic.
+	Check func(t *Tag)
+}
+
+// NewCollector registers the attribution metrics for a machine of the
+// given shape and returns the collector. A nil registry returns a nil
+// collector, which hands out nil tags — attribution fully disabled.
+func NewCollector(reg *telemetry.Registry, cores, mcs, ranksPerMC int) *Collector {
+	if reg == nil {
+		return nil
+	}
+	c := &Collector{ranksPerMC: ranksPerMC}
+	c.requests = reg.Counter("attrib.requests")
+	c.merged = reg.Counter("attrib.merged")
+	c.rowHits = reg.Counter("attrib.rowhits")
+	c.latency = reg.DistributionN("attrib.latency", latencyBuckets)
+	c.mergedLat = reg.DistributionN("attrib.merged.latency", latencyBuckets)
+	for st := Stage(0); st < NumStages; st++ {
+		c.stageCycles[st] = reg.Counter(fmt.Sprintf("attrib.stage.%s.cycles", st))
+		c.stageDist[st] = reg.DistributionN(fmt.Sprintf("attrib.stage.%s", st), latencyBuckets)
+	}
+	c.phaseWriteRec = reg.Counter("attrib.dram.writerec.cycles")
+	c.phasePrecharge = reg.Counter("attrib.dram.precharge.cycles")
+	c.phaseActivate = reg.Counter("attrib.dram.activate.cycles")
+	c.phaseCAS = reg.Counter("attrib.dram.cas.cycles")
+	for i := 0; i < cores; i++ {
+		c.coreReqs = append(c.coreReqs, reg.Counter(fmt.Sprintf("attrib.core%d.requests", i)))
+		var sc [NumStages]*telemetry.Counter
+		for st := Stage(0); st < NumStages; st++ {
+			sc[st] = reg.Counter(fmt.Sprintf("attrib.core%d.%s.cycles", i, st))
+		}
+		c.coreCycles = append(c.coreCycles, sc)
+	}
+	for m := 0; m < mcs; m++ {
+		c.mcReqs = append(c.mcReqs, reg.Counter(fmt.Sprintf("attrib.mc%d.requests", m)))
+		var sc [NumStages]*telemetry.Counter
+		for st := Stage(0); st < NumStages; st++ {
+			sc[st] = reg.Counter(fmt.Sprintf("attrib.mc%d.%s.cycles", m, st))
+		}
+		c.mcCycles = append(c.mcCycles, sc)
+		for r := 0; r < ranksPerMC; r++ {
+			c.rankReqs = append(c.rankReqs, reg.Counter(fmt.Sprintf("attrib.mc%d.rank%d.requests", m, r)))
+			c.rankDRAM = append(c.rankDRAM, reg.Counter(fmt.Sprintf("attrib.mc%d.rank%d.dram.cycles", m, r)))
+		}
+	}
+	return c
+}
+
+// NewTag opens a lifecycle for a demand miss first seen by the L2 at
+// cycle now. A nil collector returns a nil tag, whose every stamp is a
+// no-op — disabled attribution costs callers one nil check.
+func (c *Collector) NewTag(now sim.Cycle, core int) *Tag {
+	if c == nil {
+		return nil
+	}
+	return &Tag{Core: core, MC: -1, Rank: -1, MissAt: now}
+}
+
+// Finish closes a primary miss's lifecycle at cycle done and folds its
+// stage decomposition into every breakdown. Nil collector or tag is a
+// no-op.
+func (c *Collector) Finish(t *Tag, done sim.Cycle) {
+	if c == nil || t == nil {
+		return
+	}
+	t.DoneAt = done
+	if c.Check != nil {
+		c.Check(t)
+	}
+	st := t.Stages()
+	c.requests.Inc()
+	c.latency.Observe(int(t.Total()))
+	if t.RowHit {
+		c.rowHits.Inc()
+	}
+	for i := Stage(0); i < NumStages; i++ {
+		c.stageCycles[i].Add(uint64(st[i]))
+		c.stageDist[i].Observe(int(st[i]))
+	}
+	c.phaseWriteRec.Add(uint64(t.WriteRec))
+	c.phasePrecharge.Add(uint64(t.Precharge))
+	c.phaseActivate.Add(uint64(t.Activate))
+	c.phaseCAS.Add(uint64(t.CAS))
+	if t.Core >= 0 && t.Core < len(c.coreReqs) {
+		c.coreReqs[t.Core].Inc()
+		for i := Stage(0); i < NumStages; i++ {
+			c.coreCycles[t.Core][i].Add(uint64(st[i]))
+		}
+	}
+	if t.MC >= 0 && t.MC < len(c.mcReqs) {
+		c.mcReqs[t.MC].Inc()
+		for i := Stage(0); i < NumStages; i++ {
+			c.mcCycles[t.MC][i].Add(uint64(st[i]))
+		}
+		if t.Rank >= 0 && t.Rank < c.ranksPerMC {
+			idx := t.MC*c.ranksPerMC + t.Rank
+			c.rankReqs[idx].Inc()
+			c.rankDRAM[idx].Add(uint64(st[StageDRAM]))
+		}
+	}
+}
+
+// FinishMerged closes a secondary (merged) miss: only its end-to-end
+// latency is recorded, since its stages overlap the primary's.
+func (c *Collector) FinishMerged(t *Tag, done sim.Cycle) {
+	if c == nil || t == nil {
+		return
+	}
+	t.DoneAt = done
+	c.merged.Inc()
+	c.mergedLat.Observe(int(t.Total()))
+}
+
+// StageSummary is one stage's line of the breakdown.
+type StageSummary struct {
+	Stage       string  `json:"stage"`
+	Cycles      uint64  `json:"cycles"`
+	Share       float64 `json:"share"` // of total attributed cycles
+	MeanPerMiss float64 `json:"mean_per_miss"`
+	P50         int     `json:"p50"`
+	P90         int     `json:"p90"`
+	P99         int     `json:"p99"`
+}
+
+// GroupRow is one per-core/per-MC/per-rank row of stage cycle sums.
+type GroupRow struct {
+	Label    string `json:"label"`
+	Requests uint64 `json:"requests"`
+	MSHR     uint64 `json:"mshr_cycles"`
+	Queue    uint64 `json:"queue_cycles"`
+	DRAM     uint64 `json:"dram_cycles"`
+	Bus      uint64 `json:"bus_cycles"`
+}
+
+// DRAMPhases is the timing-phase split of the DRAM stage.
+type DRAMPhases struct {
+	WriteRecovery uint64 `json:"write_recovery_cycles"`
+	Precharge     uint64 `json:"precharge_cycles"`
+	Activate      uint64 `json:"activate_cycles"`
+	CAS           uint64 `json:"cas_cycles"`
+}
+
+// Breakdown is a point-in-time decomposition of where memory-request
+// cycles went, JSON-marshalable for /snapshot and attrib.json.
+type Breakdown struct {
+	Requests    uint64         `json:"requests"`
+	Merged      uint64         `json:"merged"`
+	RowHits     uint64         `json:"row_hits"`
+	TotalCycles uint64         `json:"total_cycles"`
+	MeanLatency float64        `json:"mean_latency"`
+	P50         int            `json:"p50"`
+	P90         int            `json:"p90"`
+	P99         int            `json:"p99"`
+	Stages      []StageSummary `json:"stages"`
+	DRAM        DRAMPhases     `json:"dram_phases"`
+	PerCore     []GroupRow     `json:"per_core,omitempty"`
+	PerMC       []GroupRow     `json:"per_mc,omitempty"`
+	PerRank     []GroupRow     `json:"per_rank,omitempty"`
+}
+
+func groupRows(label string, reqs []*telemetry.Counter, cycles [][NumStages]*telemetry.Counter) []GroupRow {
+	var rows []GroupRow
+	for i, rc := range reqs {
+		rows = append(rows, GroupRow{
+			Label:    fmt.Sprintf("%s%d", label, i),
+			Requests: rc.Value(),
+			MSHR:     cycles[i][StageMSHR].Value(),
+			Queue:    cycles[i][StageQueue].Value(),
+			DRAM:     cycles[i][StageDRAM].Value(),
+			Bus:      cycles[i][StageBus].Value(),
+		})
+	}
+	return rows
+}
+
+// Breakdown snapshots the accumulated attribution. Nil collector
+// (attribution disabled) returns nil.
+func (c *Collector) Breakdown() *Breakdown {
+	if c == nil {
+		return nil
+	}
+	b := &Breakdown{
+		Requests: c.requests.Value(),
+		Merged:   c.merged.Value(),
+		RowHits:  c.rowHits.Value(),
+		DRAM: DRAMPhases{
+			WriteRecovery: c.phaseWriteRec.Value(),
+			Precharge:     c.phasePrecharge.Value(),
+			Activate:      c.phaseActivate.Value(),
+			CAS:           c.phaseCAS.Value(),
+		},
+	}
+	if h := c.latency.Histogram(); h != nil {
+		b.MeanLatency = h.MeanValue()
+		qs := h.Quantiles(0.50, 0.90, 0.99)
+		b.P50, b.P90, b.P99 = qs[0], qs[1], qs[2]
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		b.TotalCycles += c.stageCycles[st].Value()
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		s := StageSummary{Stage: st.String(), Cycles: c.stageCycles[st].Value()}
+		if b.TotalCycles > 0 {
+			s.Share = float64(s.Cycles) / float64(b.TotalCycles)
+		}
+		if h := c.stageDist[st].Histogram(); h != nil {
+			s.MeanPerMiss = h.MeanValue()
+			qs := h.Quantiles(0.50, 0.90, 0.99)
+			s.P50, s.P90, s.P99 = qs[0], qs[1], qs[2]
+		}
+		b.Stages = append(b.Stages, s)
+	}
+	b.PerCore = groupRows("core", c.coreReqs, c.coreCycles)
+	b.PerMC = groupRows("mc", c.mcReqs, c.mcCycles)
+	for i, rc := range c.rankReqs {
+		b.PerRank = append(b.PerRank, GroupRow{
+			Label:    fmt.Sprintf("mc%d.rank%d", i/c.ranksPerMC, i%c.ranksPerMC),
+			Requests: rc.Value(),
+			DRAM:     c.rankDRAM[i].Value(),
+		})
+	}
+	return b
+}
+
+// Table renders the breakdown as an aligned text table (the run-end
+// report stacksim prints and docs/OBSERVABILITY.md's worked example).
+func (b *Breakdown) Table() string {
+	if b == nil {
+		return "attribution: disabled\n"
+	}
+	var w strings.Builder
+	fmt.Fprintf(&w, "memory-latency attribution: %d demand misses (%d merged), mean %.1f cycles  p50=%d p90=%d p99=%d\n",
+		b.Requests, b.Merged, b.MeanLatency, b.P50, b.P90, b.P99)
+	fmt.Fprintf(&w, "  %-6s %12s %7s %11s %6s %6s %6s\n", "stage", "cycles", "share", "mean/miss", "p50", "p90", "p99")
+	for _, s := range b.Stages {
+		fmt.Fprintf(&w, "  %-6s %12d %6.1f%% %11.1f %6d %6d %6d\n",
+			s.Stage, s.Cycles, 100*s.Share, s.MeanPerMiss, s.P50, s.P90, s.P99)
+	}
+	if d := b.DRAM; d.WriteRecovery+d.Precharge+d.Activate+d.CAS > 0 {
+		fmt.Fprintf(&w, "  dram phases: activate=%d cas=%d precharge=%d writerec=%d cycles\n",
+			d.Activate, d.CAS, d.Precharge, d.WriteRecovery)
+	}
+	section := func(name string, rows []GroupRow) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s\n", name, "", "misses", "mshr", "queue", "dram", "bus")
+		for _, r := range rows {
+			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d\n", r.Label, r.Requests, r.MSHR, r.Queue, r.DRAM, r.Bus)
+		}
+	}
+	section("core", b.PerCore)
+	section("MC", b.PerMC)
+	if len(b.PerRank) > 0 {
+		fmt.Fprintf(&w, "  per rank: %-12s %7s %12s\n", "", "misses", "dram")
+		for _, r := range b.PerRank {
+			fmt.Fprintf(&w, "    %-12s %11d %12d\n", r.Label, r.Requests, r.DRAM)
+		}
+	}
+	return w.String()
+}

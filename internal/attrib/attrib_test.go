@@ -1,0 +1,195 @@
+package attrib
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
+)
+
+// fullTag builds a tag with every checkpoint stamped in order.
+func fullTag() *Tag {
+	t := &Tag{Core: 1, MissAt: 100}
+	t.Alloc(102)
+	t.EnterQueue(110, 0)
+	t.Sched(130, 2)
+	t.Data(170, false)
+	t.Burst(175)
+	t.DRAMPhases(0, 15, 13, 12)
+	t.DoneAt = 190
+	return t
+}
+
+func TestStagesTelescopeToTotal(t *testing.T) {
+	tag := fullTag()
+	st := tag.Stages()
+	want := [NumStages]sim.Cycle{10, 20, 40, 20} // 110-100, 130-110, 170-130, 190-170
+	if st != want {
+		t.Fatalf("stages = %v, want %v", st, want)
+	}
+	var sum sim.Cycle
+	for _, s := range st {
+		sum += s
+	}
+	if sum != tag.Total() {
+		t.Fatalf("stage sum %d != total %d", sum, tag.Total())
+	}
+}
+
+// A miss whose line was filled by another request never reaches the MC:
+// QueueAt/SchedAt/DataAt stay zero and must collapse forward so the
+// whole wait lands in StageMSHR and the sum still telescopes.
+func TestStagesCollapseUnsetCheckpoints(t *testing.T) {
+	tag := &Tag{MissAt: 50, DoneAt: 80}
+	st := tag.Stages()
+	if st != [NumStages]sim.Cycle{30, 0, 0, 0} {
+		t.Fatalf("all-unset stages = %v, want [30 0 0 0]", st)
+	}
+
+	// Queued but never scheduled (e.g. finished via a racing fill):
+	// the residue lands in StageQueue.
+	tag = &Tag{MissAt: 50, QueueAt: 60, DoneAt: 80}
+	st = tag.Stages()
+	if st != [NumStages]sim.Cycle{10, 20, 0, 0} {
+		t.Fatalf("queue-only stages = %v, want [10 20 0 0]", st)
+	}
+
+	var sum sim.Cycle
+	for _, s := range st {
+		sum += s
+	}
+	if sum != tag.Total() {
+		t.Fatalf("stage sum %d != total %d with unset checkpoints", sum, tag.Total())
+	}
+}
+
+func TestNilTagAndCollectorAreNoOps(t *testing.T) {
+	var c *Collector
+	tag := c.NewTag(5, 0)
+	if tag != nil {
+		t.Fatal("nil collector must hand out nil tags")
+	}
+	// Every stamp on a nil tag must be a safe no-op.
+	tag.Alloc(1)
+	tag.MarkMerged()
+	tag.EnterQueue(2, 0)
+	tag.Sched(3, 1)
+	tag.Data(4, true)
+	tag.Burst(5)
+	tag.DRAMPhases(1, 2, 3, 4)
+	c.Finish(tag, 6)
+	c.FinishMerged(tag, 6)
+	if b := c.Breakdown(); b != nil {
+		t.Fatalf("nil collector breakdown = %v, want nil", b)
+	}
+	if got := c.Breakdown().Table(); got != "attribution: disabled\n" {
+		t.Fatalf("disabled table = %q", got)
+	}
+	if NewCollector(nil, 4, 2, 4) != nil {
+		t.Fatal("nil registry must yield a nil collector")
+	}
+}
+
+func TestFinishAccumulatesBreakdowns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, 2, 2, 2)
+
+	tag := c.NewTag(100, 1)
+	if tag.MC != -1 || tag.Rank != -1 {
+		t.Fatalf("fresh tag MC/Rank = %d/%d, want -1/-1", tag.MC, tag.Rank)
+	}
+	tag.Alloc(102)
+	tag.EnterQueue(110, 1)
+	tag.Sched(130, 1)
+	tag.Data(170, false)
+	tag.Burst(175)
+	tag.DRAMPhases(0, 15, 13, 12)
+
+	checked := false
+	c.Check = func(got *Tag) {
+		checked = true
+		if got != tag {
+			t.Fatal("Check must receive the finishing tag")
+		}
+	}
+	c.Finish(tag, 190)
+	if !checked {
+		t.Fatal("Check hook did not run")
+	}
+	c.Check = nil
+
+	// Second request: a row hit on core 0, mc 0, rank 0.
+	hit := c.NewTag(200, 0)
+	hit.EnterQueue(201, 0)
+	hit.Sched(205, 0)
+	hit.Data(217, true)
+	hit.DRAMPhases(0, 0, 0, 12)
+	c.Finish(hit, 230)
+
+	// A merged secondary only contributes count and end-to-end latency.
+	sec := c.NewTag(120, 1)
+	sec.MarkMerged()
+	if !sec.Merged {
+		t.Fatal("MarkMerged did not set Merged")
+	}
+	c.FinishMerged(sec, 190)
+
+	b := c.Breakdown()
+	if b.Requests != 2 || b.Merged != 1 || b.RowHits != 1 {
+		t.Fatalf("requests/merged/rowhits = %d/%d/%d, want 2/1/1", b.Requests, b.Merged, b.RowHits)
+	}
+	// Stage sums over both primaries: total = 90 + 30 cycles.
+	if b.TotalCycles != 120 {
+		t.Fatalf("total attributed cycles = %d, want 120", b.TotalCycles)
+	}
+	var stageSum uint64
+	for _, s := range b.Stages {
+		stageSum += s.Cycles
+	}
+	if stageSum != b.TotalCycles {
+		t.Fatalf("stage cycles sum %d != TotalCycles %d", stageSum, b.TotalCycles)
+	}
+	if b.DRAM.Precharge != 15 || b.DRAM.Activate != 13 || b.DRAM.CAS != 24 {
+		t.Fatalf("dram phases = %+v", b.DRAM)
+	}
+	if len(b.PerCore) != 2 || len(b.PerMC) != 2 || len(b.PerRank) != 4 {
+		t.Fatalf("group rows = %d/%d/%d, want 2/2/4", len(b.PerCore), len(b.PerMC), len(b.PerRank))
+	}
+	if b.PerCore[1].Requests != 1 || b.PerMC[1].Requests != 1 {
+		t.Fatalf("per-core/per-MC attribution missed: %+v / %+v", b.PerCore[1], b.PerMC[1])
+	}
+	if b.PerRank[3].Requests != 1 || b.PerRank[3].Label != "mc1.rank1" {
+		t.Fatalf("rank row = %+v, want 1 request at mc1.rank1", b.PerRank[3])
+	}
+	// Mirrors in the registry: the same values must be scrapeable.
+	if v := reg.Counter("attrib.requests").Value(); v != 2 {
+		t.Fatalf("attrib.requests = %d, want 2", v)
+	}
+	if v := reg.Counter("attrib.stage.dram.cycles").Value(); v != 52 {
+		t.Fatalf("attrib.stage.dram.cycles = %d, want 52 (40+12)", v)
+	}
+
+	tbl := c.Breakdown().Table()
+	for _, want := range []string{"2 demand misses (1 merged)", "mshr", "queue", "dram", "bus", "mc1.rank1"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if _, err := json.Marshal(b); err != nil {
+		t.Fatalf("breakdown must be JSON-marshalable: %v", err)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"mshr", "queue", "dram", "bus"}
+	for st := Stage(0); st < NumStages; st++ {
+		if st.String() != want[st] {
+			t.Fatalf("stage %d = %q, want %q", int(st), st.String(), want[st])
+		}
+	}
+	if s := Stage(9).String(); s != "stage(9)" {
+		t.Fatalf("out-of-range stage = %q", s)
+	}
+}

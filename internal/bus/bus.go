@@ -13,6 +13,7 @@ package bus
 import (
 	"fmt"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
 )
@@ -87,6 +88,16 @@ func (b *Bus) Reserve(now sim.Cycle, n int) (start, end sim.Cycle) {
 	b.stats.Transfers++
 	b.stats.Bytes += uint64(n)
 	b.stats.BusyCycles += uint64(dur)
+	return start, end
+}
+
+// ReserveTagged is Reserve plus cycle accounting: the burst-start
+// cycle (after any queued wait) is stamped onto tag, so the tag's bus
+// stage separates channel contention from the transfer itself (nil tag
+// = plain Reserve).
+func (b *Bus) ReserveTagged(now sim.Cycle, n int, tag *attrib.Tag) (start, end sim.Cycle) {
+	start, end = b.Reserve(now, n)
+	tag.Burst(start)
 	return start, end
 }
 

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/memctrl"
@@ -89,6 +90,10 @@ type L2 struct {
 	// opened on the issuing core's track here and closed at the fill.
 	trace      *telemetry.Tracer
 	coreTracks []telemetry.Track
+
+	// attrib (nil when disabled) opens a cycle-accounting tag on every
+	// demand miss and folds it back in at the fill.
+	attrib *attrib.Collector
 }
 
 // bankQueueCap bounds each bank's input queue; a full queue pushes back
@@ -193,6 +198,11 @@ func (l *L2) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 }
 
+// AttachAttrib enables memory-latency attribution: every demand miss
+// gets a tag at detection, and the collector accumulates it when the
+// fill completes. A nil collector disables attribution.
+func (l *L2) AttachAttrib(col *attrib.Collector) { l.attrib = col }
+
 // Stats returns the counters.
 func (l *L2) Stats() *L2Stats { return &l.stats }
 
@@ -281,6 +291,11 @@ func (l *L2) drainMSHRWaiters(now sim.Cycle) {
 				l.stats.Hits++
 				req := r
 				done := now + l.latency
+				// The miss resolved while set aside: another request
+				// filled the line, so the whole lifetime was MSHR wait
+				// (the tag never reached an MC and telescopes to the
+				// MSHR stage).
+				l.attrib.Finish(req.Attrib, done)
 				l.events.At(done, func() { req.Complete(done) })
 				q = q[1:]
 				continue
@@ -337,7 +352,12 @@ func (l *L2) tickBank(b *l2bank, now sim.Cycle) {
 			l.trainPrefetch(now, r)
 			return
 		}
-		// Miss: consult the MSHR bank aligned with this line's MC.
+		// Miss: open the cycle-accounting lifecycle (one nil check when
+		// attribution is off), then consult the MSHR bank aligned with
+		// this line's MC.
+		if r.Attrib == nil && r.Kind.IsDemand() && r.Core >= 0 {
+			r.Attrib = l.attrib.NewTag(now, r.Core)
+		}
 		if !l.missPath(r, now) {
 			// MSHR full: set the miss aside so the bank keeps
 			// serving unrelated requests (the capacity pressure the
@@ -393,6 +413,7 @@ func (l *L2) missPath(r *mem.Request, now sim.Cycle) bool {
 		return false
 	}
 	l.mshrBusy[m] = start + busyFor + l.mshrLat // allocation write
+	r.Attrib.Alloc(l.mshrBusy[m])
 	if r.Kind.IsDemand() && r.Core >= 0 {
 		l.stats.DemandMisses++
 		l.missesBy[r.Core]++
@@ -434,6 +455,7 @@ func (l *L2) issue(mshrIdx int, e *mshr.Entry) {
 		PC:     primary.PC,
 		Born:   primary.Born,
 		Traced: primary.Traced,
+		Attrib: primary.Attrib,
 	}
 	read.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleFill(mshrIdx, e, req, at) }
 	if l.mcs[mcIdx].Submit(read, l.now) {
@@ -496,7 +518,14 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 			fmt.Sprintf(`{"req":%d,"waiters":%d,"rowhit":%t}`, read.ID, len(e.Waiters), read.RowHit))
 		l.trace.End(tr, "l2.miss", at)
 	}
+	// Close the lifecycles: the primary's tag (carried by the derived
+	// read) gets the full stage decomposition; merged secondaries
+	// overlapped it, so only their end-to-end latency is recorded.
+	l.attrib.Finish(read.Attrib, at)
 	for _, w := range e.Waiters {
+		if w.Attrib != nil && w.Attrib.Merged {
+			l.attrib.FinishMerged(w.Attrib, at)
+		}
 		if w.Core < 0 && w.Kind == mem.Prefetch {
 			continue // L2-originated prefetch: the fill was the point
 		}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"stackedsim/internal/attrib"
+	"stackedsim/internal/config"
+	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
+)
+
+// attribRun builds a system over the given config, attaches an
+// attribution collector (optionally with a per-tag check), runs a short
+// window, and returns the metrics plus the collector.
+func attribRun(t *testing.T, cfg *config.Config, check func(*attrib.Tag)) (Metrics, *attrib.Collector) {
+	t.Helper()
+	cfg.WarmupCycles = 5_000
+	cfg.MeasureCycles = 20_000
+	sys, err := NewSystem(cfg, []string{"S.all", "mcf", "S.copy", "milc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sys.NewAttribCollector(telemetry.NewRegistry())
+	col.Check = check
+	sys.AttachAttrib(col)
+	return sys.Run(), col
+}
+
+// TestAttributionConservation pins the tentpole invariant on live
+// traffic: for every finished primary miss, across organizations with
+// very different pipelines (off-chip FSB, on-stack single MC, four
+// banked MCs), the four stage durations sum exactly to the end-to-end
+// latency. No cycle may be double-counted or dropped.
+func TestAttributionConservation(t *testing.T) {
+	configs := []*config.Config{config.Baseline2D(), config.Fast3D(), config.QuadMC()}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			finished := 0
+			_, col := attribRun(t, cfg, func(tag *attrib.Tag) {
+				finished++
+				st := tag.Stages()
+				var sum sim.Cycle
+				for _, s := range st {
+					sum += s
+				}
+				if sum != tag.Total() {
+					t.Fatalf("miss #%d (core %d, mc %d): stages %v sum to %d, total is %d",
+						finished, tag.Core, tag.MC, st, sum, tag.Total())
+				}
+				if tag.Total() <= 0 {
+					t.Fatalf("miss #%d finished with non-positive latency %d", finished, tag.Total())
+				}
+				for i, s := range st {
+					if s < 0 {
+						t.Fatalf("miss #%d: negative stage %v = %d", finished, attrib.Stage(i), s)
+					}
+				}
+			})
+			if finished == 0 {
+				t.Fatal("no demand misses finished — attribution is not wired")
+			}
+			b := col.Breakdown()
+			if b.Requests != uint64(finished) {
+				t.Fatalf("breakdown counts %d requests, Check saw %d", b.Requests, finished)
+			}
+			// The aggregate must conserve too: summed stage counters equal
+			// the summed end-to-end latencies (mean × count, exactly —
+			// both sides are integer cycle sums).
+			var stageSum uint64
+			for _, s := range b.Stages {
+				stageSum += s.Cycles
+			}
+			if stageSum != b.TotalCycles {
+				t.Fatalf("stage sums %d != TotalCycles %d", stageSum, b.TotalCycles)
+			}
+		})
+	}
+}
+
+// TestAttributionBreakdownCoverage checks the per-core/per-MC/per-rank
+// fan-out on the quad-MC machine: every row present, group totals
+// consistent with the global ones.
+func TestAttributionBreakdownCoverage(t *testing.T) {
+	_, col := attribRun(t, config.QuadMC(), nil)
+	b := col.Breakdown()
+	if len(b.PerCore) != 4 || len(b.PerMC) != 4 || len(b.PerRank) != 16 {
+		t.Fatalf("group rows = %d cores / %d MCs / %d ranks, want 4/4/16",
+			len(b.PerCore), len(b.PerMC), len(b.PerRank))
+	}
+	var coreReqs, mcReqs uint64
+	for _, r := range b.PerCore {
+		coreReqs += r.Requests
+	}
+	for _, r := range b.PerMC {
+		mcReqs += r.Requests
+	}
+	if coreReqs != b.Requests {
+		t.Fatalf("per-core requests sum %d != total %d", coreReqs, b.Requests)
+	}
+	// Every finished primary entered exactly one MC on this machine (no
+	// set-aside path should dominate a 25k-cycle window).
+	if mcReqs == 0 || mcReqs > b.Requests {
+		t.Fatalf("per-MC requests sum %d vs total %d", mcReqs, b.Requests)
+	}
+	// DRAM phase cycles live inside the DRAM stage.
+	phases := b.DRAM.WriteRecovery + b.DRAM.Precharge + b.DRAM.Activate + b.DRAM.CAS
+	var dramStage uint64
+	for _, s := range b.Stages {
+		if s.Stage == "dram" {
+			dramStage = s.Cycles
+		}
+	}
+	if phases == 0 || phases > dramStage {
+		t.Fatalf("dram phases %d exceed dram stage %d", phases, dramStage)
+	}
+}
+
+// TestAttributionDoesNotPerturbSimulation pins the acceptance
+// criterion: attribution observes, never participates — results with it
+// attached are bit-identical to results without.
+func TestAttributionDoesNotPerturbSimulation(t *testing.T) {
+	for _, mk := range []func() *config.Config{config.Baseline2D, config.QuadMC} {
+		cfg := mk()
+		cfg.WarmupCycles = 5_000
+		cfg.MeasureCycles = 20_000
+		plain, err := NewSystem(cfg, []string{"S.all", "mcf", "S.copy", "milc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := plain.Run()
+
+		instr, col := attribRun(t, mk(), nil)
+		if col.Breakdown().Requests == 0 {
+			t.Fatalf("%s: attribution recorded nothing", cfg.Name)
+		}
+		if base.HMIPC != instr.HMIPC {
+			t.Fatalf("%s: attribution changed HMIPC: %v vs %v", cfg.Name, base.HMIPC, instr.HMIPC)
+		}
+		for i := range base.IPC {
+			if base.IPC[i] != instr.IPC[i] {
+				t.Fatalf("%s: attribution changed core %d IPC: %v vs %v", cfg.Name, i, base.IPC[i], instr.IPC[i])
+			}
+		}
+		if base.DRAMReads != instr.DRAMReads || base.DRAMWrites != instr.DRAMWrites {
+			t.Fatalf("%s: attribution changed DRAM traffic: %d/%d vs %d/%d",
+				cfg.Name, base.DRAMReads, base.DRAMWrites, instr.DRAMReads, instr.DRAMWrites)
+		}
+		if base.RowHitRate != instr.RowHitRate {
+			t.Fatalf("%s: attribution changed row-hit rate: %v vs %v", cfg.Name, base.RowHitRate, instr.RowHitRate)
+		}
+	}
+}

@@ -48,7 +48,35 @@ type Runner struct {
 	sem  chan struct{}
 	runs atomic.Uint64
 
+	// Live run-state counters behind Status. Atomics, not mu: Status is
+	// polled from monitor HTTP handlers while workers run.
+	queued    atomic.Int64
+	running   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
 	progressMu sync.Mutex
+}
+
+// RunnerStatus is a point-in-time view of the runner's worker pool:
+// runs waiting for a worker slot, currently executing, and finished
+// (split by outcome). Memo hits never enter any state.
+type RunnerStatus struct {
+	Queued    int64
+	Running   int64
+	Completed int64
+	Failed    int64
+}
+
+// Status reports the live run-state counters. Safe to call from any
+// goroutine at any time (the monitor endpoint polls it).
+func (r *Runner) Status() RunnerStatus {
+	return RunnerStatus{
+		Queued:    r.queued.Load(),
+		Running:   r.running.Load(),
+		Completed: r.completed.Load(),
+		Failed:    r.failed.Load(),
+	}
 }
 
 // inflight is the single-flight slot for one (config, mix) key. done is
@@ -120,10 +148,19 @@ func (r *Runner) start(key, cfgName, label string, fn func() (Metrics, error)) *
 	r.memo[key] = in
 	r.mu.Unlock()
 	sem := r.pool()
+	r.queued.Add(1)
 	go func() {
 		sem <- struct{}{}
 		defer func() { <-sem }()
+		r.queued.Add(-1)
+		r.running.Add(1)
 		in.m, in.err = fn()
+		r.running.Add(-1)
+		if in.err != nil {
+			r.failed.Add(1)
+		} else {
+			r.completed.Add(1)
+		}
 		if in.err == nil {
 			r.runs.Add(1)
 			if r.Progress != nil {

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/bus"
 	"stackedsim/internal/cache"
 	"stackedsim/internal/config"
@@ -238,6 +239,22 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 		// systems each carry their own.
 		s.Engine.RegisterEvery(int(tel.Sampler.Every()), 0, tel.Sampler)
 	}
+}
+
+// AttachAttrib enables memory-latency attribution: col's "attrib.*"
+// metrics accumulate a per-stage cycle breakdown of every demand L2
+// miss. The collector is purely observational — tags are stamped with
+// cycles the simulation computes anyway — so an attributed run is
+// bit-identical to an unattributed one. A nil collector is a no-op.
+func (s *System) AttachAttrib(col *attrib.Collector) {
+	s.L2.AttachAttrib(col)
+}
+
+// NewAttribCollector registers an attribution collector shaped for this
+// system's machine (cores, MCs, ranks) in reg. Nil registry → nil
+// collector (disabled).
+func (s *System) NewAttribCollector(reg *telemetry.Registry) *attrib.Collector {
+	return attrib.NewCollector(reg, s.Cfg.Cores, s.Cfg.MCs, s.Cfg.RanksPerMC())
 }
 
 // ResetStats zeroes every component's statistics (end of warmup).

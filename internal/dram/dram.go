@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
@@ -116,6 +117,17 @@ func (b *Bank) touch(i int) {
 // (write) and whether the access hit in the row-buffer cache. The bank is
 // busy until the returned cycle.
 func (b *Bank) Access(now sim.Cycle, row int64, write bool) (dataAt sim.Cycle, rowHit bool) {
+	return b.access(now, row, write, nil)
+}
+
+// AccessTagged is Access plus cycle accounting: the array-delivery
+// timestamp and the WR/precharge/activate/CAS phase split are stamped
+// onto tag (nil tag = plain Access).
+func (b *Bank) AccessTagged(now sim.Cycle, row int64, write bool, tag *attrib.Tag) (dataAt sim.Cycle, rowHit bool) {
+	return b.access(now, row, write, tag)
+}
+
+func (b *Bank) access(now sim.Cycle, row int64, write bool, tag *attrib.Tag) (dataAt sim.Cycle, rowHit bool) {
 	if now < b.busyUntil {
 		panic(fmt.Sprintf("dram: Access at %d while busy until %d", now, b.busyUntil))
 	}
@@ -130,11 +142,14 @@ func (b *Bank) Access(now sim.Cycle, row int64, write bool) (dataAt sim.Cycle, r
 			}
 			dataAt = now + b.timing.CAS
 			b.busyUntil = dataAt
+			tag.Data(dataAt, true)
+			tag.DRAMPhases(0, 0, 0, b.timing.CAS)
 			return dataAt, true
 		}
 	}
 	// Miss: bring the row into the row-buffer cache.
 	start := now
+	var writeRec, precharge sim.Cycle
 	if len(b.rb) >= b.rbCap {
 		// Evict the LRU entry. Its sense amps must be precharged, and a
 		// dirty entry must complete write recovery first. Precharge also
@@ -146,11 +161,16 @@ func (b *Bank) Access(now sim.Cycle, row int64, write bool) (dataAt sim.Cycle, r
 		b.stats.Evictions++
 		if victim.dirty {
 			start += b.timing.WR
+			writeRec = b.timing.WR
 		}
+		afterWR := start
 		if earliest := b.lastAct + b.timing.RAS; start < earliest {
 			start = earliest
 		}
 		start += b.timing.RP
+		// The tRAS wait counts as precharge time: the sense amps cannot
+		// close the old row earlier.
+		precharge = start - afterWR
 	}
 	// Activate the requested row into an entry, then column access.
 	b.stats.Activates++
@@ -160,6 +180,8 @@ func (b *Bank) Access(now sim.Cycle, row int64, write bool) (dataAt sim.Cycle, r
 	b.rb[0] = rbEntry{row: row, dirty: write}
 	dataAt = start + b.timing.RCD + b.timing.CAS
 	b.busyUntil = dataAt
+	tag.Data(dataAt, false)
+	tag.DRAMPhases(writeRec, precharge, b.timing.RCD, b.timing.CAS)
 	return dataAt, false
 }
 

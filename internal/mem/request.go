@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"stackedsim/internal/attrib"
 	"stackedsim/internal/sim"
 )
 
@@ -67,6 +68,12 @@ type Request struct {
 	// requests, and derived requests inherit the mark. Always false
 	// when tracing is disabled, so the flag costs one branch.
 	Traced bool
+
+	// Attrib, when cycle accounting is enabled, carries the per-stage
+	// timestamps of this miss's lifecycle; derived requests inherit the
+	// tag so downstream components stamp the original miss. Nil when
+	// attribution is disabled — every stamp on a nil tag is a no-op.
+	Attrib *attrib.Tag
 
 	// OnDone, if non-nil, runs exactly once when the request completes.
 	OnDone func(r *Request, now sim.Cycle)

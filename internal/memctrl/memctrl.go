@@ -165,6 +165,7 @@ func (c *Controller) Submit(r *mem.Request, now sim.Cycle) bool {
 		return false
 	}
 	r.Issued = now
+	r.Attrib.EnterQueue(now, c.p.ID)
 	c.stats.Submitted++
 	// New work: re-arm the tick schedule in case the controller was
 	// sleeping through an idle span. Submitters tick before the
@@ -265,7 +266,8 @@ func (c *Controller) tick(now sim.Cycle) {
 	loc := c.p.AMap.Decode(r.Line)
 	bk := c.bank(loc)
 	write := r.Kind == mem.Write || r.Kind == mem.Writeback
-	dataAt, rowHit := bk.Access(now, loc.Row, write)
+	r.Attrib.Sched(now, loc.Rank)
+	dataAt, rowHit := bk.AccessTagged(now, loc.Row, write, r.Attrib)
 	c.p.Ranks[loc.Rank].Touch(loc.Bank, loc.Row, now)
 	r.RowHit = rowHit
 	if rowHit {
@@ -291,7 +293,7 @@ func (c *Controller) tick(now sim.Cycle) {
 	}
 	// The line crosses the channel data bus once the array delivers (or,
 	// for writes, symmetric occupancy to carry the data in).
-	start, end := c.p.DataBus.Reserve(dataAt, c.p.LineBytes)
+	start, end := c.p.DataBus.ReserveTagged(dataAt, c.p.LineBytes, r.Attrib)
 	if c.p.CriticalWordFirst && !write {
 		// The demand word leads the burst: the requester restarts after
 		// the first beat even though the tail still occupies the bus.

@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stackedsim/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"mc0.reads":          "stacksim_mc0_reads",
+		"attrib.stage.dram":  "stacksim_attrib_stage_dram",
+		"l2.mshr.occupancy":  "stacksim_l2_mshr_occupancy",
+		"odd-name with%char": "stacksim_odd_name_with_char",
+		"already_fine_123":   "stacksim_already_fine_123",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromValue(t *testing.T) {
+	if got := promValue(42); got != "42" {
+		t.Fatalf("integral value rendered %q", got)
+	}
+	if got := promValue(0.375); got != "0.375" {
+		t.Fatalf("fractional value rendered %q", got)
+	}
+}
+
+// TestPrometheusGolden renders a deterministic snapshot and compares it
+// byte for byte against testdata/metrics_golden.txt: name escaping,
+// counter-vs-gauge TYPE lines, summary quantiles, sorted order. Rerun
+// with -update to regenerate after an intentional format change.
+func TestPrometheusGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Registered deliberately out of alphabetical order: the exposition
+	// must sort by rendered name regardless.
+	reg.Counter("mc0.reads").Add(10)
+	reg.Gauge("l2.mshr.occupancy").Set(7)
+	reg.Gauge("bus0.util").Set(0.375)
+	d := reg.Distribution("mc0.queue.delay")
+	for _, v := range []int{1, 2, 2, 3} {
+		d.Observe(v)
+	}
+	reg.Counter("attrib.requests").Add(3)
+
+	srv := &Server{Registry: reg}
+	srv.Collect(12345)
+	snap := srv.copySnapshot()
+
+	var b strings.Builder
+	writePrometheus(&b, &snap, &Progress{Queued: 4, Running: 2, Completed: 9, Failed: 1})
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPrometheusOrderIndependent pins that registration order cannot
+// leak into the exposition: two registries with the same metrics in
+// different orders must render identically.
+func TestPrometheusOrderIndependent(t *testing.T) {
+	render := func(names []string) string {
+		reg := telemetry.NewRegistry()
+		for _, n := range names {
+			reg.Counter(n).Inc()
+		}
+		srv := &Server{Registry: reg}
+		srv.Collect(1)
+		snap := srv.copySnapshot()
+		var b strings.Builder
+		writePrometheus(&b, &snap, nil)
+		return b.String()
+	}
+	a := render([]string{"z.last", "a.first", "m.mid"})
+	bb := render([]string{"m.mid", "z.last", "a.first"})
+	if a != bb {
+		t.Fatalf("registration order leaked into exposition:\n%s\nvs\n%s", a, bb)
+	}
+}

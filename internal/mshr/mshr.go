@@ -38,8 +38,14 @@ func (e *Entry) Primary() *mem.Request {
 	return e.Waiters[0]
 }
 
-// Merge attaches a secondary miss.
+// Merge attaches a secondary miss. A request joining a live entry
+// (i.e. any waiter after the primary) overlaps the primary's lifecycle,
+// so its attribution tag, if any, collapses to a merged-latency-only
+// observation.
 func (e *Entry) Merge(r *mem.Request) {
+	if len(e.Waiters) > 0 {
+		r.Attrib.MarkMerged()
+	}
 	e.Waiters = append(e.Waiters, r)
 	if r.Kind == mem.Write {
 		e.Dirty = true

@@ -116,6 +116,9 @@ func (h *Histogram) Add(v int) {
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum reports the running sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // MeanValue reports the arithmetic mean of the observations.
 func (h *Histogram) MeanValue() float64 { return Ratio(h.sum, h.count) }
 

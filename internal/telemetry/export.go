@@ -103,6 +103,9 @@ func (t *Telemetry) Export(man Manifest) error {
 	if err := os.MkdirAll(t.opts.Dir, 0o755); err != nil {
 		return err
 	}
+	// Close the time-series on the run's final cycle so the tail
+	// partial interval is never silently dropped from the exports.
+	t.Sampler.Finalize(sim.Cycle(man.Cycles))
 	man.TraceEvents = t.Tracer.Len()
 	man.TraceDrops = t.Tracer.Dropped()
 	man.Samples = len(t.Sampler.Rows())

@@ -74,6 +74,21 @@ func (s *Sampler) Snapshot(now sim.Cycle) {
 	s.rows = append(s.rows, Sample{Cycle: now, Values: vals})
 }
 
+// Finalize closes the time-series at the end of a run: when the run's
+// final cycle is not a sample boundary, the tail partial interval is
+// captured as one last sample stamped with now. Idempotent — if the
+// last row already sits at now (a boundary hit or an earlier Finalize),
+// nothing is added.
+func (s *Sampler) Finalize(now sim.Cycle) {
+	if s == nil {
+		return
+	}
+	if n := len(s.rows); n > 0 && s.rows[n-1].Cycle == now {
+		return
+	}
+	s.Snapshot(now)
+}
+
 // Rows reports the collected samples.
 func (s *Sampler) Rows() []Sample {
 	if s == nil {

@@ -200,6 +200,19 @@ func (r *Registry) Distribution(name string) *Distribution {
 	})
 }
 
+// DistributionN is Distribution with an explicit bucket count, for
+// observations whose range outgrows the default (e.g. end-to-end miss
+// latencies in cycles). Idempotent on name; the first registration
+// fixes the bucket count.
+func (r *Registry) DistributionN(name string, buckets int) *Distribution {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Distribution {
+		return &Distribution{name: name, h: stats.NewHistogram(buckets)}
+	})
+}
+
 // Names reports every registered metric name in registration order.
 func (r *Registry) Names() []string {
 	if r == nil {
@@ -218,6 +231,33 @@ func (r *Registry) value(name string) (float64, bool) {
 		return h.Value(), true
 	}
 	return 0, false
+}
+
+// MetricKind distinguishes scalar metric kinds for renderers that need
+// to declare them (e.g. Prometheus TYPE lines).
+type MetricKind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter MetricKind = iota
+	// KindGauge is an instantaneous level.
+	KindGauge
+)
+
+// Scalars visits every registered counter and gauge in registration
+// order with its kind and current value.
+func (r *Registry) Scalars(fn func(name string, kind MetricKind, v float64)) {
+	if r == nil {
+		return
+	}
+	for _, name := range r.order {
+		switch h := r.byName[name].(type) {
+		case *Counter:
+			fn(name, KindCounter, float64(h.Value()))
+		case *Gauge:
+			fn(name, KindGauge, h.Value())
+		}
+	}
 }
 
 // Distributions visits every registered distribution in order.

@@ -138,6 +138,50 @@ func TestSamplerSnapshotsAndCSV(t *testing.T) {
 	}
 }
 
+// TestSamplerFinalizeCapturesTail pins the end-of-run contract: a run
+// whose final cycle is not a sample boundary still exports its tail
+// partial interval, and Finalize is idempotent — calling it twice, or
+// after a boundary hit, adds nothing.
+func TestSamplerFinalizeCapturesTail(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evts")
+	s := NewSampler(reg, 10)
+	for now := int64(1); now <= 27; now++ {
+		c.Inc()
+		s.Tick(cyc(now))
+	}
+	if len(s.Rows()) != 2 {
+		t.Fatalf("%d samples before Finalize, want 2 (cycles 10,20)", len(s.Rows()))
+	}
+	s.Finalize(cyc(27))
+	rows := s.Rows()
+	if len(rows) != 3 || rows[2].Cycle != 27 {
+		t.Fatalf("tail sample missing: %d rows, last at %v", len(rows), rows[len(rows)-1].Cycle)
+	}
+	if rows[2].Values[0] != 27 {
+		t.Fatalf("tail sample value = %v, want 27", rows[2].Values[0])
+	}
+	s.Finalize(cyc(27)) // idempotent
+	if len(s.Rows()) != 3 {
+		t.Fatalf("repeated Finalize grew the series to %d rows", len(s.Rows()))
+	}
+
+	// A run ending exactly on a boundary must not gain a duplicate row.
+	s2 := NewSampler(reg, 10)
+	for now := int64(28); now <= 30; now++ {
+		s2.Tick(cyc(now))
+	}
+	if len(s2.Rows()) != 1 {
+		t.Fatalf("boundary sampler has %d rows, want 1", len(s2.Rows()))
+	}
+	s2.Finalize(cyc(30))
+	if len(s2.Rows()) != 1 {
+		t.Fatal("Finalize duplicated the boundary sample")
+	}
+	var fs *Sampler
+	fs.Finalize(5) // nil-safe
+}
+
 func TestNilSamplerAndTracerAreNoOps(t *testing.T) {
 	var s *Sampler
 	s.Tick(5)

@@ -1,13 +1,20 @@
 #!/usr/bin/env sh
 # Performance harness for stackedsim.
 #
-# Two measurements:
+# Three measurements:
 #   1. The root micro/figure benchmarks (single-run hot-loop speed) —
 #      compare ns/op against a previous run to catch single-run
 #      regressions (the PR gate is within +/-2%).
 #   2. A reduced-window experiment sweep, sequential (-j 1) vs
 #      parallel (-j 0 = GOMAXPROCS), emitting BENCH_sweep.json with
 #      wall seconds, runs/sec and the measured speedup.
+#   3. The same instrumented run with attribution on vs off (best wall
+#      of three each), emitting BENCH_attrib.json with both walls, the
+#      cost of enabling attribution, and the disabled path's slowdown
+#      (the PR gate: a disabled run is <=2% slower — in practice it is
+#      faster), plus a statsdiff of the two exports' shared metrics as
+#      a non-fatal sanity report (identical simulations must agree on
+#      every non-attrib metric).
 #
 # Usage: scripts/bench.sh [outdir]   (default outdir: results)
 #
@@ -64,3 +71,64 @@ cat > "$outdir/BENCH_sweep.json" <<EOF
 EOF
 echo "== $outdir/BENCH_sweep.json"
 cat "$outdir/BENCH_sweep.json"
+
+echo "== building cmd/stacksim + cmd/statsdiff"
+sbin=$(mktemp -d)/stacksim
+go build -o "$sbin" ./cmd/stacksim
+dbin=$(mktemp -d)/statsdiff
+go build -o "$dbin" ./cmd/statsdiff
+
+attrib_args="-config quadMC -mix VH1 -warmup 50000 -measure 600000"
+attrib_tmp=$(mktemp -d)
+attrib_on="$attrib_tmp/attrib_on"
+attrib_off="$attrib_tmp/attrib_off"
+
+# Best wall of three runs each: single-run walls are ~a second, so the
+# minimum is the least-noisy estimate of the hot-loop cost.
+best_wall() {
+    dir=$1; shift
+    best=""
+    for _ in 1 2 3; do
+        rm -rf "$dir"
+        # shellcheck disable=SC2086 # $attrib_args is a word list by design
+        "$sbin" $attrib_args "$@" -telemetry-dir "$dir" > /dev/null
+        w=$(json_field "$dir/manifest.json" wall_seconds)
+        best=$(awk -v a="${best:-$w}" -v b="$w" 'BEGIN { print (b < a) ? b : a }')
+    done
+    printf '%s' "$best"
+}
+echo "== attribution on (best of 3):  $attrib_args"
+on_wall=$(best_wall "$attrib_on")
+echo "== attribution off (best of 3): $attrib_args -attrib=false"
+off_wall=$(best_wall "$attrib_off" -attrib=false)
+
+# enabled_overhead: what turning attribution ON costs (informational).
+# disabled_slowdown: what a run with attribution OFF pays relative to
+# the instrumented one — the nil-check path; the PR gate is <=2%
+# (negative means the disabled run is faster, as expected).
+enabled_overhead=$(awk -v on="$on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
+disabled_slowdown=$(awk -v on="$on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (on > 0) ? (off - on) / on : 0 }')
+
+cat > "$outdir/BENCH_attrib.json" <<EOF
+{
+  "run": "quadMC VH1 @ warmup=50000 measure=600000, best wall of 3",
+  "attrib_on_wall_seconds": $on_wall,
+  "attrib_off_wall_seconds": $off_wall,
+  "attrib_enabled_overhead": $enabled_overhead,
+  "attrib_disabled_slowdown": $disabled_slowdown,
+  "disabled_budget": 0.02
+}
+EOF
+echo "== $outdir/BENCH_attrib.json"
+cat "$outdir/BENCH_attrib.json"
+
+# Sanity: the two runs are the same simulation, so every metric they
+# share must be identical (attribution only adds attrib.* columns).
+# Non-fatal: a diff here is a parity bug to investigate, not a reason
+# to lose the benchmark numbers above.
+echo "== statsdiff attrib-on vs attrib-off (shared metrics must be unchanged)"
+"$dbin" -threshold 0.0001 \
+    "$attrib_off/timeseries.csv" "$attrib_on/timeseries.csv" \
+    || echo "bench: WARNING: attribution changed shared metrics (parity bug)"

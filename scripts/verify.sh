@@ -4,10 +4,12 @@
 # Extends the baseline `go build ./... && go test ./...` gate with vet
 # and a race-detector pass over the packages that carry cross-cutting
 # state: the simulation engine, the telemetry layer (whose sampler and
-# tracer observe every component), and the experiment harness (whose
-# Runner fans simulations over a worker pool; the concurrent-caller and
-# parity tests only bite under -race). Core runs -short to skip the
-# real-window stability sweep, which the plain pass already covers.
+# tracer observe every component), the monitor (HTTP handlers reading
+# snapshots the simulation goroutine publishes), the attribution layer,
+# and the experiment harness (whose Runner fans simulations over a
+# worker pool; the concurrent-caller and parity tests only bite under
+# -race). Core runs -short to skip the real-window stability sweep,
+# which the plain pass already covers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,8 +22,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/..."
-go test -race ./internal/telemetry/... ./internal/sim/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
