@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"stackedsim/internal/config"
@@ -39,7 +42,11 @@ type perfReport struct {
 	Workers     int     `json:"workers"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body behind an exit code, so the deferred cleanups
+// (profile flush, graceful monitor shutdown) run even on failure.
+func run() int {
 	var (
 		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,tsv,thermal,ablations")
 		warmup  = flag.Int64("warmup", 200_000, "warmup cycles per run")
@@ -49,6 +56,7 @@ func main() {
 		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		perfOut = flag.String("perf-json", "", "write wall-clock/throughput stats to this file")
 		monAddr = flag.String("monitor-addr", "", "serve live runner progress (/metrics, /snapshot, /healthz, pprof) on this address")
+		runTmo  = flag.Duration("run-timeout", 0, "per-simulation wall-time limit (0 = none); an over-budget run fails alone")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -59,11 +67,11 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -86,8 +94,16 @@ func main() {
 		}()
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: queued runs never start, running
+	// simulations stop at their next context check, and every figure
+	// whose runs completed still prints before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := core.NewRunner(*warmup, *measure)
 	r.Workers = *jobs
+	r.Ctx = ctx
+	r.RunTimeout = *runTmo
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -99,13 +115,26 @@ func main() {
 	if *monAddr != "" {
 		mon := &monitor.Server{ProgressFn: func() monitor.Progress {
 			st := r.Status()
-			return monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed, Failed: st.Failed}
+			p := monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed, Failed: st.Failed}
+			for _, rep := range st.Reports {
+				mr := monitor.RunReport{Config: rep.Config, Label: rep.Label, WallSeconds: rep.WallSeconds}
+				if rep.Err != nil {
+					mr.Err = rep.Err.Error()
+				}
+				p.Runs = append(p.Runs, mr)
+			}
+			return p
 		}}
 		if err := mon.Start(*monAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer mon.Close()
+		defer func() {
+			// Graceful: let an in-flight scrape of the final state finish.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			mon.Shutdown(sctx) //nolint:errcheck // best-effort on exit
+		}()
 		fmt.Fprintf(os.Stderr, "monitor: serving runner progress on %s\n", mon.Addr())
 	}
 	started := time.Now()
@@ -160,7 +189,7 @@ func main() {
 		}(f.fn)
 	}
 
-	ran := 0
+	ran, failed := 0, 0
 	if want("table1") {
 		fmt.Println("Table 1: baseline quad-core processor parameters")
 		fmt.Println(config.Table1())
@@ -172,8 +201,13 @@ func main() {
 		}
 		res := <-pending[i]
 		if res.err != nil {
+			// One broken experiment (or a cancelled sweep) must not eat
+			// the figures whose runs completed: report, keep printing,
+			// fail the exit code at the end.
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", f.name, res.err)
-			os.Exit(1)
+			failed++
+			ran++
+			continue
 		}
 		if *csvOut {
 			fmt.Print(res.fig.CSV())
@@ -194,7 +228,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no experiment matched %q\n", *expFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	if *perfOut != "" {
@@ -215,11 +249,24 @@ func main() {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*perfOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if failed > 0 {
+		// Surface which runs went wrong (the first error per run), then
+		// fail the invocation.
+		for _, rep := range r.Status().Reports {
+			if rep.Err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: failed run %s/%s after %.2fs: %v\n",
+					rep.Config, rep.Label, rep.WallSeconds, rep.Err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, ran)
+		return 1
+	}
+	return 0
 }

@@ -24,21 +24,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/cpu"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/monitor"
 	"stackedsim/internal/telemetry"
 	"stackedsim/internal/trace"
@@ -81,6 +85,13 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmarks and mixes, then exit")
 		jobs    = flag.Int("j", 0, "concurrent simulations for a multi-mix sweep (0 = GOMAXPROCS)")
 
+		faultScenario = flag.String("fault-scenario", "", "JSON fault scenario to inject into the memory hierarchy (see docs/ROBUSTNESS.md)")
+		faultSeed     = flag.Int64("fault-seed", 0, "override the scenario's fault-stream seed (0 keeps the scenario/run default)")
+		checkpoint    = flag.String("checkpoint", "", "write periodic replay checkpoints to this file (single run only)")
+		ckptEvery     = flag.Int64("checkpoint-every", 1_000_000, "cycles between checkpoint writes")
+		resume        = flag.String("resume", "", "resume from this checkpoint file; the run's config and workload come from the checkpoint")
+		deadline      = flag.Duration("deadline", 0, "wall-clock limit for the run (0 = none); a cut-off run still reports and exports")
+
 		telemetryDir = flag.String("telemetry-dir", "", "directory for telemetry exports (enables telemetry)")
 		sampleEvery  = flag.Int64("sample-every", 1000, "time-series sample interval in cycles")
 		traceEvents  = flag.Bool("trace-events", false, "emit Chrome trace_event JSON for sampled request lifecycles")
@@ -92,7 +103,8 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
-	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName)
+	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName,
+		*checkpoint, *resume, *traces, *ckptEvery)
 
 	if *list {
 		fmt.Println("benchmarks (Table 2a):")
@@ -139,12 +151,40 @@ func main() {
 	cfg.SmartRefresh = *smart
 	cfg.MSHRUnified = *unified
 
+	if *faultScenario != "" {
+		sc, err := fault.Load(*faultScenario)
+		if err != nil {
+			fatal(err)
+		}
+		if *faultSeed != 0 {
+			sc.Seed = *faultSeed
+		}
+		cfg.Faults = sc
+		if sc.Name != "" {
+			// The scenario participates in the run's identity: sweep memo
+			// keys and exported metrics must not collide with fault-free
+			// runs of the same organization.
+			cfg.Name += "+" + sc.Name
+		}
+	}
+
+	// SIGINT/SIGTERM (and -deadline) cancel the simulation between cycle
+	// chunks; an interrupted run still reports its partial metrics,
+	// flushes telemetry, and shuts the monitor down cleanly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	if strings.Contains(*mixName, ",") {
 		if *telemetryDir != "" || *traces != "" {
 			fmt.Fprintln(os.Stderr, "stacksim: -telemetry-dir and -traces describe a single run; use one -mix")
 			os.Exit(2)
 		}
-		runSweep(cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure)
+		runSweep(ctx, cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure)
 		return
 	}
 	if *jobs > 1 {
@@ -165,7 +205,16 @@ func main() {
 	var sys *core.System
 	var err error
 	var labels []string
-	if *traces != "" {
+	if *resume != "" {
+		cp, lerr := core.LoadCheckpoint(*resume)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		cfg = cp.Config
+		labels = cp.Benchmarks
+		sys, err = core.NewSystemFromCheckpoint(cp)
+		fmt.Printf("resume: %s at cycle %d (%s)\n", *resume, cp.Cycle, cfg.Name)
+	} else if *traces != "" {
 		files := strings.Split(*traces, ",")
 		sources := make([]cpu.UOpSource, len(files))
 		for i, path := range files {
@@ -225,7 +274,12 @@ func main() {
 		if err := mon.Start(*monitorAddr); err != nil {
 			fatal(err)
 		}
-		defer mon.Close()
+		defer func() {
+			// Graceful: in-flight scrapes of the final snapshot finish.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			mon.Shutdown(sctx) //nolint:errcheck // best-effort on exit
+		}()
 		fmt.Printf("monitor: serving /metrics /snapshot /healthz and /debug/pprof on %s\n", mon.Addr())
 		// -sample-every 0 disables the time-series but the monitor
 		// still needs a snapshot cadence; fall back to the default.
@@ -237,7 +291,29 @@ func main() {
 	}
 
 	started := time.Now()
-	m := sys.Run()
+	var m core.Metrics
+	var runErr error
+	if *checkpoint != "" || *resume != "" {
+		path := *checkpoint
+		if path == "" {
+			path = *resume
+		}
+		m, runErr = sys.RunCheckpointed(ctx, core.CheckpointPlan{
+			Every: *ckptEvery, Path: path, Resume: *resume != "",
+		})
+		if runErr != nil && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "stacksim: interrupted at cycle %d; checkpoint saved to %s\n", sys.Engine.Now(), path)
+		}
+	} else {
+		m, runErr = sys.RunContext(ctx)
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "stacksim: interrupted at cycle %d; metrics below are partial\n", sys.Engine.Now())
+		}
+	}
+	if runErr != nil && ctx.Err() == nil {
+		// Not a cancellation: a bad checkpoint or a failed write.
+		fatal(runErr)
+	}
 	report(cfg, m)
 	if mon != nil {
 		// Publish the end-of-run state for scrapes that outlive the run.
@@ -282,13 +358,27 @@ func main() {
 		}
 		f.Close()
 	}
+
+	if runErr != nil {
+		// Everything useful was flushed above; now fail the invocation.
+		// os.Exit skips the deferred graceful shutdown, so do it here
+		// (Shutdown is idempotent).
+		if mon != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			mon.Shutdown(sctx) //nolint:errcheck // best-effort on exit
+			cancel()
+		}
+		os.Exit(1)
+	}
 }
 
 // validateFlags rejects flag combinations that would otherwise be
 // silent no-ops: the telemetry sub-flags do nothing without
-// -telemetry-dir, and the monitor serves a single run's registry, so
-// it conflicts with sweep mode.
-func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName string) {
+// -telemetry-dir, the monitor serves a single run's registry, so it
+// conflicts with sweep mode, and checkpoint/resume describe one
+// generator-driven run.
+func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
+	checkpoint, resume, traces string, ckptEvery int64) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if telemetryDir == "" {
@@ -298,6 +388,39 @@ func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName 
 				os.Exit(2)
 			}
 		}
+	}
+	if checkpoint != "" || resume != "" {
+		if strings.Contains(mixName, ",") {
+			fmt.Fprintln(os.Stderr, "stacksim: -checkpoint/-resume describe a single run; they conflict with a multi-mix sweep")
+			os.Exit(2)
+		}
+		if traces != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -checkpoint/-resume rebuild the workload from benchmark generators; they conflict with -traces")
+			os.Exit(2)
+		}
+	}
+	if resume != "" {
+		// The checkpoint carries the run's full config, workload and
+		// fault scenario; flags that would contradict it are rejected
+		// rather than silently ignored.
+		for _, name := range []string{"config", "mix", "bench", "fault-scenario", "fault-seed", "seed", "warmup", "measure"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "stacksim: -%s conflicts with -resume (the checkpoint carries the run's config)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	if explicit["checkpoint-every"] && checkpoint == "" && resume == "" {
+		fmt.Fprintln(os.Stderr, "stacksim: -checkpoint-every does nothing without -checkpoint or -resume")
+		os.Exit(2)
+	}
+	if ckptEvery <= 0 && (checkpoint != "" || resume != "") {
+		fmt.Fprintln(os.Stderr, "stacksim: -checkpoint-every must be a positive cycle count")
+		os.Exit(2)
+	}
+	if explicit["fault-seed"] && !explicit["fault-scenario"] {
+		fmt.Fprintln(os.Stderr, "stacksim: -fault-seed does nothing without -fault-scenario")
+		os.Exit(2)
 	}
 	// 0 is meaningful (disable the time-series, keep the other
 	// exports); only negative intervals are nonsense.
@@ -330,8 +453,9 @@ func writeAttribJSON(path string, b *attrib.Breakdown) error {
 // runSweep fans a comma-separated mix list over the Runner's worker
 // pool and reports one summary line per mix, in the order given. The
 // report is independent of -j: runs are deterministic in isolation and
-// collection follows submission order.
-func runSweep(cfg *config.Config, mixes []string, jobs int, warmup, measure int64) {
+// collection follows submission order. A cancelled or failed run marks
+// its own line and the exit code; completed siblings still print.
+func runSweep(ctx context.Context, cfg *config.Config, mixes []string, jobs int, warmup, measure int64) {
 	for i := range mixes {
 		mixes[i] = strings.TrimSpace(mixes[i])
 		if _, ok := workload.MixByName(mixes[i]); !ok {
@@ -341,14 +465,18 @@ func runSweep(cfg *config.Config, mixes []string, jobs int, warmup, measure int6
 	}
 	r := core.NewRunner(warmup, measure)
 	r.Workers = jobs
+	r.Ctx = ctx
 	started := time.Now()
 	r.Prefetch(cfg, mixes...)
 	fmt.Printf("config: %s   warmup=%d measured=%d cycles   %d mixes\n",
 		cfg.Name, warmup, measure, len(mixes))
+	failed := 0
 	for _, mix := range mixes {
 		m, err := r.MixMetrics(cfg, mix)
 		if err != nil {
-			fatal(err)
+			fmt.Printf("  %-4s FAILED: %v\n", mix, err)
+			failed++
+			continue
 		}
 		fmt.Printf("  %-4s HMIPC=%.4f  L2miss=%.3f  rowhit=%.3f  busutil=%.3f\n",
 			mix, m.HMIPC, m.L2MissRate, m.RowHitRate, m.BusUtilization)
@@ -358,6 +486,10 @@ func runSweep(cfg *config.Config, mixes []string, jobs int, warmup, measure int6
 		workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Printf("sweep: %d runs in %.2fs (j=%d)\n", r.Runs(), time.Since(started).Seconds(), workers)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "stacksim: %d of %d sweep runs failed\n", failed, len(mixes))
+		os.Exit(1)
+	}
 }
 
 // flagValues snapshots every explicitly set flag for the manifest.
@@ -395,6 +527,12 @@ func report(cfg *config.Config, m core.Metrics) {
 	}
 	if m.ProbesPerAccess > 0 {
 		fmt.Printf("MSHR probes/access: %.2f\n", m.ProbesPerAccess)
+	}
+	if f := m.Faults; f.Total() > 0 {
+		fmt.Printf("faults injected: %d  (ECC corrected=%d uncorrectable=%d retry-cycles=%d)\n",
+			f.Total(), f.BitErrorsCorrected, f.BitErrorsUncorrectable, f.ECCRetryCycles)
+		fmt.Printf("  rank remaps=%d blocked=%d  MC stall-edges=%d  TSV degraded=%d dead-wait=%d  MSHR parity=%d\n",
+			f.RankRemaps, f.RankBlocked, f.MCStallEdges, f.LinkDegradedTransfers, f.LinkDeadWaitCycles, f.MSHRParityErrors)
 	}
 }
 

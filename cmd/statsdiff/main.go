@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -98,7 +99,10 @@ func changed(rows []diffRow) int {
 // diff compares the two final samples metric by metric. A breach is a
 // metric present in both whose relative change magnitude exceeds
 // threshold (> 0); against a zero baseline any nonzero new value
-// breaches.
+// breaches. A NaN on either side always breaches, threshold or not:
+// NaN means the export (or the metric's computation) is broken, and
+// NaN's non-ordering would otherwise let it sail through every
+// comparison.
 func diff(oldVals, newVals map[string]float64, threshold float64, match string) (rows []diffRow, breaches int) {
 	names := make(map[string]bool, len(oldVals)+len(newVals))
 	for n := range oldVals {
@@ -118,6 +122,10 @@ func diff(oldVals, newVals map[string]float64, threshold float64, match string) 
 		ov, hasOld := oldVals[name]
 		nv, hasNew := newVals[name]
 		switch {
+		case hasOld && hasNew && (math.IsNaN(ov) || math.IsNaN(nv)):
+			breaches++
+			rows = append(rows, diffRow{name, diffBreach,
+				fmt.Sprintf("  ! %-32s %14g -> %14g (NaN: export or metric is broken)", name, ov, nv)})
 		case !hasOld:
 			rows = append(rows, diffRow{name, diffOnlyNew,
 				fmt.Sprintf("  + %-32s %14s -> %14g (new metric)", name, "-", nv)})
@@ -210,11 +218,11 @@ func loadCSV(f *os.File, path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if last == "" {
-		return nil, fmt.Errorf("%s: no samples", path)
+		return nil, fmt.Errorf("%s: header but no samples (did the run finish?)", path)
 	}
 	cells := strings.Split(last, ",")
 	if len(cells) != len(header) {
-		return nil, fmt.Errorf("%s: final row has %d cells, header has %d", path, len(cells), len(header))
+		return nil, fmt.Errorf("%s: final row has %d cells, header has %d (truncated write?)", path, len(cells), len(header))
 	}
 	vals := make(map[string]float64, len(header)-1)
 	for i := 1; i < len(header); i++ {
@@ -247,7 +255,7 @@ func loadJSONL(f *os.File, path string) (map[string]float64, error) {
 		Metrics map[string]float64 `json:"metrics"`
 	}
 	if err := json.Unmarshal([]byte(last), &row); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: final line is not valid JSON (truncated write?): %w", path, err)
 	}
 	if row.Metrics == nil {
 		return nil, fmt.Errorf("%s: final line has no metrics object", path)

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSVFinalSample(t *testing.T) {
+	path := writeTemp(t, "ts.csv", "cycle,mc0.reads,mc0.writes\n1000,5,1\n2000,12,3\n")
+	vals, err := loadExport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["mc0.reads"] != 12 || vals["mc0.writes"] != 3 {
+		t.Fatalf("final sample = %v, want reads=12 writes=3", vals)
+	}
+}
+
+func TestLoadJSONLFinalSample(t *testing.T) {
+	path := writeTemp(t, "ts.jsonl",
+		`{"cycle":1000,"metrics":{"bus.bytes":64}}`+"\n"+
+			`{"cycle":2000,"metrics":{"bus.bytes":128}}`+"\n")
+	vals, err := loadExport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["bus.bytes"] != 128 {
+		t.Fatalf("final sample = %v, want bus.bytes=128", vals)
+	}
+}
+
+// TestLoadErrorsAreClear pins the messages for unusable exports: every
+// failure names the file and says what is wrong with it, instead of a
+// panic or a silent zero-metric compare.
+func TestLoadErrorsAreClear(t *testing.T) {
+	cases := []struct {
+		name, file, content, want string
+	}{
+		{"empty csv", "e.csv", "", "empty export"},
+		{"wrong header", "h.csv", "time,x\n1,2\n", `want "cycle"`},
+		{"header only", "o.csv", "cycle,x\n", "no samples"},
+		{"truncated row", "t.csv", "cycle,x,y\n1000,5\n", "truncated write?"},
+		{"bad cell", "b.csv", "cycle,x\n1000,wat\n", "metric x"},
+		{"empty jsonl", "e.jsonl", "", "empty export"},
+		{"truncated jsonl", "t.jsonl", `{"cycle":1000,"metr`, "truncated write?"},
+		{"no metrics jsonl", "m.jsonl", `{"cycle":1000}`, "no metrics"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := writeTemp(t, c.file, c.content)
+			_, err := loadExport(path)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), c.file) {
+				t.Fatalf("error %q does not name the file", err)
+			}
+		})
+	}
+	if _, err := loadExport(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing export loaded")
+	}
+}
+
+func TestDiffThresholdGate(t *testing.T) {
+	oldVals := map[string]float64{"a": 100, "b": 100, "c": 100, "gone": 1}
+	newVals := map[string]float64{"a": 100, "b": 103, "c": 120, "fresh": 1}
+	rows, breaches := diff(oldVals, newVals, 0.05, "")
+	if breaches != 1 {
+		t.Fatalf("breaches = %d, want 1 (only c moved >5%%)", breaches)
+	}
+	kinds := map[string]diffKind{}
+	for _, r := range rows {
+		kinds[r.name] = r.kind
+	}
+	want := map[string]diffKind{
+		"a": diffSame, "b": diffChanged, "c": diffBreach,
+		"gone": diffOnlyOld, "fresh": diffOnlyNew,
+	}
+	for name, k := range want {
+		if kinds[name] != k {
+			t.Fatalf("%s classified %d, want %d (rows %+v)", name, kinds[name], k, rows)
+		}
+	}
+}
+
+// TestDiffNaNAlwaysBreaches pins the gate's NaN rule: NaN never
+// compares, so without special-casing a corrupt export would pass any
+// threshold — including report-only mode.
+func TestDiffNaNAlwaysBreaches(t *testing.T) {
+	nan := math.NaN()
+	for _, c := range []struct {
+		name     string
+		ov, nv   float64
+		thresh   float64
+		breaches int
+	}{
+		{"new is NaN", 5, nan, 0.05, 1},
+		{"old is NaN", nan, 5, 0.05, 1},
+		{"both NaN", nan, nan, 0.05, 1},
+		{"NaN in report-only mode", 5, nan, 0, 1},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			rows, breaches := diff(map[string]float64{"m": c.ov}, map[string]float64{"m": c.nv}, c.thresh, "")
+			if breaches != c.breaches {
+				t.Fatalf("breaches = %d, want %d", breaches, c.breaches)
+			}
+			if len(rows) != 1 || rows[0].kind != diffBreach || !strings.Contains(rows[0].line, "NaN") {
+				t.Fatalf("row %+v is not a flagged NaN breach", rows)
+			}
+		})
+	}
+	// Metrics present on only one side stay non-breaching even as NaN:
+	// added/removed instrumentation never fails the gate.
+	if _, breaches := diff(map[string]float64{}, map[string]float64{"m": math.NaN()}, 0.05, ""); breaches != 0 {
+		t.Fatalf("one-sided NaN breached (%d), want added metrics exempt", breaches)
+	}
+}

@@ -6,7 +6,7 @@
 // accumulates the per-stage cycle sums and histograms into the
 // telemetry registry under "attrib.*" names.
 //
-// The decomposition is conservative by construction: the four stage
+// The decomposition is conservative by construction: the five stage
 // durations are consecutive differences over the timestamp chain, so
 // for every finished miss they sum exactly to the end-to-end miss
 // latency (pinned by internal/core's conservation test). That is what
@@ -37,19 +37,24 @@ const (
 	// StageQueue runs from MRQ acceptance to the scheduler picking the
 	// request (FR-FCFS queueing plus controller-clock edge alignment).
 	StageQueue
-	// StageDRAM runs from scheduling to the array delivering data:
-	// ACT/CAS (and any precharge/write-recovery) on a row miss, CAS
-	// alone on a row-buffer-cache hit.
+	// StageDRAM runs from scheduling to the array's first delivery
+	// attempt: ACT/CAS (and any precharge/write-recovery) on a row
+	// miss, CAS alone on a row-buffer-cache hit.
 	StageDRAM
-	// StageBus runs from array delivery to completion: waiting for the
-	// channel data bus plus the burst itself (shortened under
-	// critical-word-first delivery).
+	// StageRetry covers fault-recovery latency between the first array
+	// delivery attempt and the corrected delivery: ECC correction
+	// penalties and detected-uncorrectable re-reads injected by
+	// internal/fault. Zero on every access in a fault-free run.
+	StageRetry
+	// StageBus runs from corrected array delivery to completion:
+	// waiting for the channel data bus plus the burst itself
+	// (shortened under critical-word-first delivery).
 	StageBus
 	// NumStages counts the stages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"mshr", "queue", "dram", "bus"}
+var stageNames = [NumStages]string{"mshr", "queue", "dram", "retry", "bus"}
 
 func (s Stage) String() string {
 	if s >= 0 && s < NumStages {
@@ -74,13 +79,14 @@ type Tag struct {
 	// recorded (into attrib.merged.latency).
 	Merged bool
 
-	MissAt  sim.Cycle // L2 detected the demand miss
-	AllocAt sim.Cycle // MSHR entry allocation completed
-	QueueAt sim.Cycle // accepted into the MC's MRQ
-	SchedAt sim.Cycle // MC scheduler picked the request
-	DataAt  sim.Cycle // DRAM array delivered the line
-	BurstAt sim.Cycle // burst started on the channel data bus
-	DoneAt  sim.Cycle // completion reached the L2 fill
+	MissAt      sim.Cycle // L2 detected the demand miss
+	AllocAt     sim.Cycle // MSHR entry allocation completed
+	QueueAt     sim.Cycle // accepted into the MC's MRQ
+	SchedAt     sim.Cycle // MC scheduler picked the request
+	FirstDataAt sim.Cycle // DRAM array's first delivery attempt
+	DataAt      sim.Cycle // corrected data delivered (== FirstDataAt fault-free)
+	BurstAt     sim.Cycle // burst started on the channel data bus
+	DoneAt      sim.Cycle // completion reached the L2 fill
 
 	// DRAM micro-phases: cycles within StageDRAM spent in each timing
 	// phase of the array access (all but CAS are zero on a row hit).
@@ -129,8 +135,20 @@ func (t *Tag) Data(at sim.Cycle, rowHit bool) {
 	if t == nil {
 		return
 	}
+	t.FirstDataAt = at
 	t.DataAt = at
 	t.RowHit = rowHit
+}
+
+// Retry pushes corrected delivery out by extra cycles of fault
+// recovery (ECC correction, uncorrectable-error re-reads). The delay
+// lands in StageRetry; FirstDataAt keeps the fault-free delivery time
+// so StageDRAM stays comparable across faulty and clean runs.
+func (t *Tag) Retry(extra sim.Cycle) {
+	if t == nil || extra <= 0 {
+		return
+	}
+	t.DataAt += extra
 }
 
 // Burst stamps the start of the channel data-bus burst.
@@ -152,7 +170,7 @@ func (t *Tag) DRAMPhases(writeRec, precharge, activate, cas sim.Cycle) {
 // Total reports the end-to-end miss latency.
 func (t *Tag) Total() sim.Cycle { return t.DoneAt - t.MissAt }
 
-// Stages decomposes the lifetime into the four consecutive intervals.
+// Stages decomposes the lifetime into the five consecutive intervals.
 // Unreached checkpoints (e.g. a miss whose line was filled by another
 // request while it waited for MSHR space and so never visited the MC)
 // collapse to the next stamped one, attributing the whole wait to the
@@ -169,7 +187,11 @@ func (t *Tag) Stages() [NumStages]sim.Cycle {
 	if d == 0 {
 		d = t.DoneAt
 	}
-	return [NumStages]sim.Cycle{q - t.MissAt, s - q, d - s, t.DoneAt - d}
+	fd := t.FirstDataAt
+	if fd == 0 {
+		fd = d
+	}
+	return [NumStages]sim.Cycle{q - t.MissAt, s - q, fd - s, d - fd, t.DoneAt - d}
 }
 
 // latencyBuckets sizes the end-to-end and per-stage histograms: miss
@@ -336,6 +358,7 @@ type GroupRow struct {
 	MSHR     uint64 `json:"mshr_cycles"`
 	Queue    uint64 `json:"queue_cycles"`
 	DRAM     uint64 `json:"dram_cycles"`
+	Retry    uint64 `json:"retry_cycles"`
 	Bus      uint64 `json:"bus_cycles"`
 }
 
@@ -374,6 +397,7 @@ func groupRows(label string, reqs []*telemetry.Counter, cycles [][NumStages]*tel
 			MSHR:     cycles[i][StageMSHR].Value(),
 			Queue:    cycles[i][StageQueue].Value(),
 			DRAM:     cycles[i][StageDRAM].Value(),
+			Retry:    cycles[i][StageRetry].Value(),
 			Bus:      cycles[i][StageBus].Value(),
 		})
 	}
@@ -451,9 +475,9 @@ func (b *Breakdown) Table() string {
 		if len(rows) == 0 {
 			return
 		}
-		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s\n", name, "", "misses", "mshr", "queue", "dram", "bus")
+		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s %12s\n", name, "", "misses", "mshr", "queue", "dram", "retry", "bus")
 		for _, r := range rows {
-			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d\n", r.Label, r.Requests, r.MSHR, r.Queue, r.DRAM, r.Bus)
+			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d %12d\n", r.Label, r.Requests, r.MSHR, r.Queue, r.DRAM, r.Retry, r.Bus)
 		}
 	}
 	section("core", b.PerCore)

@@ -25,7 +25,7 @@ func fullTag() *Tag {
 func TestStagesTelescopeToTotal(t *testing.T) {
 	tag := fullTag()
 	st := tag.Stages()
-	want := [NumStages]sim.Cycle{10, 20, 40, 20} // 110-100, 130-110, 170-130, 190-170
+	want := [NumStages]sim.Cycle{10, 20, 40, 0, 20} // 110-100, 130-110, 170-130, no retry, 190-170
 	if st != want {
 		t.Fatalf("stages = %v, want %v", st, want)
 	}
@@ -44,16 +44,16 @@ func TestStagesTelescopeToTotal(t *testing.T) {
 func TestStagesCollapseUnsetCheckpoints(t *testing.T) {
 	tag := &Tag{MissAt: 50, DoneAt: 80}
 	st := tag.Stages()
-	if st != [NumStages]sim.Cycle{30, 0, 0, 0} {
-		t.Fatalf("all-unset stages = %v, want [30 0 0 0]", st)
+	if st != [NumStages]sim.Cycle{30, 0, 0, 0, 0} {
+		t.Fatalf("all-unset stages = %v, want [30 0 0 0 0]", st)
 	}
 
 	// Queued but never scheduled (e.g. finished via a racing fill):
 	// the residue lands in StageQueue.
 	tag = &Tag{MissAt: 50, QueueAt: 60, DoneAt: 80}
 	st = tag.Stages()
-	if st != [NumStages]sim.Cycle{10, 20, 0, 0} {
-		t.Fatalf("queue-only stages = %v, want [10 20 0 0]", st)
+	if st != [NumStages]sim.Cycle{10, 20, 0, 0, 0} {
+		t.Fatalf("queue-only stages = %v, want [10 20 0 0 0]", st)
 	}
 
 	var sum sim.Cycle
@@ -172,7 +172,7 @@ func TestFinishAccumulatesBreakdowns(t *testing.T) {
 	}
 
 	tbl := c.Breakdown().Table()
-	for _, want := range []string{"2 demand misses (1 merged)", "mshr", "queue", "dram", "bus", "mc1.rank1"} {
+	for _, want := range []string{"2 demand misses (1 merged)", "mshr", "queue", "dram", "retry", "bus", "mc1.rank1"} {
 		if !strings.Contains(tbl, want) {
 			t.Fatalf("table missing %q:\n%s", want, tbl)
 		}
@@ -182,8 +182,42 @@ func TestFinishAccumulatesBreakdowns(t *testing.T) {
 	}
 }
 
+// TestRetryStageTelescopes pins the fault-recovery stage: Retry pushes
+// corrected delivery (and thus the burst) later, the delay lands in
+// StageRetry alone, and the sum still telescopes to Total.
+func TestRetryStageTelescopes(t *testing.T) {
+	tag := fullTag()
+	tag.Retry(25)     // ECC retry after first delivery at 170
+	tag.BurstAt = 200 // burst follows corrected delivery at 195
+	tag.DoneAt = 215  // fill 25 cycles later than the clean run
+	st := tag.Stages()
+	want := [NumStages]sim.Cycle{10, 20, 40, 25, 20}
+	if st != want {
+		t.Fatalf("stages = %v, want %v", st, want)
+	}
+	if st[StageRetry] != 25 {
+		t.Fatalf("retry stage = %d, want 25", st[StageRetry])
+	}
+	var sum sim.Cycle
+	for _, s := range st {
+		sum += s
+	}
+	if sum != tag.Total() {
+		t.Fatalf("stage sum %d != total %d", sum, tag.Total())
+	}
+	// Retry on a nil tag and non-positive extras are no-ops.
+	var nilTag *Tag
+	nilTag.Retry(10)
+	before := tag.DataAt
+	tag.Retry(0)
+	tag.Retry(-5)
+	if tag.DataAt != before {
+		t.Fatal("non-positive Retry must not move DataAt")
+	}
+}
+
 func TestStageString(t *testing.T) {
-	want := []string{"mshr", "queue", "dram", "bus"}
+	want := []string{"mshr", "queue", "dram", "retry", "bus"}
 	for st := Stage(0); st < NumStages; st++ {
 		if st.String() != want[st] {
 			t.Fatalf("stage %d = %q, want %q", int(st), st.String(), want[st])

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"stackedsim/internal/attrib"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
 )
@@ -33,6 +34,10 @@ type Bus struct {
 	ddr        bool
 	nextFree   sim.Cycle
 	stats      Stats
+
+	// flt, when set, injects TSV link faults: dead windows push
+	// transfers out, degraded windows stretch them. Nil = fault-free.
+	flt *fault.MCView
 }
 
 // New returns a bus of widthBytes data width whose clock is the CPU clock
@@ -49,6 +54,10 @@ func (b *Bus) WidthBytes() int { return b.widthBytes }
 
 // Stats returns the counters.
 func (b *Bus) Stats() *Stats { return &b.stats }
+
+// SetFaults points the bus at its controller's fault-injection view.
+// A nil view (the default) is fault-free.
+func (b *Bus) SetFaults(v *fault.MCView) { b.flt = v }
 
 // TransferCycles reports how many CPU cycles moving n bytes occupies the
 // bus: ceil(n/width) beats at divider CPU cycles per beat (halved for
@@ -69,6 +78,18 @@ func (b *Bus) TransferCycles(n int) sim.Cycle {
 	return c
 }
 
+// TransferCyclesAt is TransferCycles under the link conditions at
+// cycle at: a degraded TSV link stretches the transfer by its width
+// factor. Callers estimating delivery times (critical-word-first)
+// must use this so their estimate matches what Reserve will book.
+func (b *Bus) TransferCyclesAt(at sim.Cycle, n int) sim.Cycle {
+	c := b.TransferCycles(n)
+	if f := b.flt.LinkFactor(at); f > 1 {
+		c *= sim.Cycle(f)
+	}
+	return c
+}
+
 // Reserve books the bus for an n-byte transfer that is ready at cycle
 // now. It returns when the transfer starts (after any queued wait) and
 // when the last byte is delivered. Zero-byte transfers return (now, now)
@@ -82,6 +103,15 @@ func (b *Bus) Reserve(now sim.Cycle, n int) (start, end sim.Cycle) {
 	if b.nextFree > start {
 		b.stats.WaitCycles += uint64(b.nextFree - start)
 		start = b.nextFree
+	}
+	if b.flt != nil {
+		// A dead link window pushes the burst past its end; a degraded
+		// window stretches the transfer by the width factor.
+		start = b.flt.LinkDelay(start)
+		if f := b.flt.LinkFactor(start); f > 1 {
+			dur *= sim.Cycle(f)
+			b.flt.NoteDegraded()
+		}
 	}
 	end = start + dur
 	b.nextFree = end

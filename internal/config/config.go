@@ -2,7 +2,11 @@
 // used by the paper's evaluation (Table 1 plus the Section 3-5 sweeps).
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"stackedsim/internal/fault"
+)
 
 // MSHRKind selects the L2 miss-handling-architecture implementation.
 type MSHRKind int
@@ -136,6 +140,12 @@ type Config struct {
 	WarmupCycles  int64
 	MeasureCycles int64
 	Seed          int64
+
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// scenario for this run (see internal/fault). The scenario is
+	// read-only after construction and shared by Clone copies; nil
+	// keeps the memory system fault-free.
+	Faults *fault.Scenario
 }
 
 // Validate reports the first problem with the configuration.
@@ -171,6 +181,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: MemoryGB = %d", c.MemoryGB)
 	case c.L2Banks%c.MCs != 0:
 		return fmt.Errorf("config: L2Banks %d must be a multiple of MCs %d", c.L2Banks, c.MCs)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	return nil
 }

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/stats"
@@ -42,6 +45,16 @@ type Runner struct {
 	// runtime.GOMAXPROCS(0). Set it before the first run request;
 	// later changes are ignored.
 	Workers int
+	// Ctx, when non-nil, cancels queued and in-flight runs: workers
+	// check it before starting and each simulation polls it between
+	// cycle chunks, so a cancelled sweep returns within microseconds
+	// with an error for every unfinished key. Memoized results stay
+	// valid. Set it before the first run request.
+	Ctx context.Context
+	// RunTimeout, when positive, bounds each individual simulation's
+	// wall time; a run that exceeds it fails with DeadlineExceeded
+	// without affecting its siblings.
+	RunTimeout time.Duration
 
 	mu   sync.Mutex
 	memo map[string]*inflight
@@ -55,27 +68,52 @@ type Runner struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 
+	// reports collects one RunReport per executed run (memo hits are
+	// not runs), behind its own mutex so Status never contends with the
+	// memo map.
+	reportMu sync.Mutex
+	reports  []RunReport
+
 	progressMu sync.Mutex
+}
+
+// RunReport is the post-mortem of one executed run: what it was, how
+// long it took, and how it ended (nil Err = success). Panics inside a
+// simulation are recovered into Err with their stack, so one broken
+// configuration fails its own key instead of killing the sweep.
+type RunReport struct {
+	Config      string
+	Label       string
+	WallSeconds float64
+	Err         error
 }
 
 // RunnerStatus is a point-in-time view of the runner's worker pool:
 // runs waiting for a worker slot, currently executing, and finished
-// (split by outcome). Memo hits never enter any state.
+// (split by outcome) plus the per-run reports, so a monitor can show
+// which runs failed and which ran slow. Memo hits never enter any
+// state.
 type RunnerStatus struct {
 	Queued    int64
 	Running   int64
 	Completed int64
 	Failed    int64
+	Reports   []RunReport
 }
 
-// Status reports the live run-state counters. Safe to call from any
-// goroutine at any time (the monitor endpoint polls it).
+// Status reports the live run-state counters and a copy of the per-run
+// reports. Safe to call from any goroutine at any time (the monitor
+// endpoint polls it).
 func (r *Runner) Status() RunnerStatus {
+	r.reportMu.Lock()
+	reports := append([]RunReport(nil), r.reports...)
+	r.reportMu.Unlock()
 	return RunnerStatus{
 		Queued:    r.queued.Load(),
 		Running:   r.running.Load(),
 		Completed: r.completed.Load(),
 		Failed:    r.failed.Load(),
+		Reports:   reports,
 	}
 }
 
@@ -99,6 +137,8 @@ func (r *Runner) child(warmup, measure int64) *Runner {
 	c := NewRunner(warmup, measure)
 	c.Progress = r.Progress
 	c.Workers = r.Workers
+	c.Ctx = r.Ctx
+	c.RunTimeout = r.RunTimeout
 	c.sem = r.pool()
 	return c
 }
@@ -135,7 +175,7 @@ func (r *Runner) apply(cfg *config.Config) *config.Config {
 // start returns the single-flight slot for key, launching fn on the
 // worker pool if this is the first request. cfgName and label feed the
 // progress line.
-func (r *Runner) start(key, cfgName, label string, fn func() (Metrics, error)) *inflight {
+func (r *Runner) start(key, cfgName, label string, fn func(context.Context) (Metrics, error)) *inflight {
 	r.mu.Lock()
 	if r.memo == nil {
 		r.memo = map[string]*inflight{}
@@ -154,13 +194,18 @@ func (r *Runner) start(key, cfgName, label string, fn func() (Metrics, error)) *
 		defer func() { <-sem }()
 		r.queued.Add(-1)
 		r.running.Add(1)
-		in.m, in.err = fn()
+		started := time.Now()
+		in.m, in.err = r.execute(fn)
+		wall := time.Since(started).Seconds()
 		r.running.Add(-1)
 		if in.err != nil {
 			r.failed.Add(1)
 		} else {
 			r.completed.Add(1)
 		}
+		r.reportMu.Lock()
+		r.reports = append(r.reports, RunReport{Config: cfgName, Label: label, WallSeconds: wall, Err: in.err})
+		r.reportMu.Unlock()
 		if in.err == nil {
 			r.runs.Add(1)
 			if r.Progress != nil {
@@ -174,20 +219,46 @@ func (r *Runner) start(key, cfgName, label string, fn func() (Metrics, error)) *
 	return in
 }
 
+// execute runs one simulation under the runner's context and timeout,
+// converting a panic into that run's error (with the stack attached)
+// so a defective configuration cannot take the whole sweep down.
+func (r *Runner) execute(fn func(context.Context) (Metrics, error)) (m Metrics, err error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A sweep cancelled while this run was queued must not start it:
+	// builds are cheap but full simulations are not.
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	if r.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return fn(ctx)
+}
+
 // startMix enqueues (cfg, mix) without waiting. The config is cloned
 // before returning, so callers may mutate cfg afterwards.
 func (r *Runner) startMix(cfg *config.Config, mix string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, func() (Metrics, error) {
-		return RunMix(run, mix)
+	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, func(ctx context.Context) (Metrics, error) {
+		return RunMixContext(ctx, run, mix)
 	})
 }
 
 // startSingle enqueues a stand-alone single-core benchmark run.
 func (r *Runner) startSingle(cfg *config.Config, benchmark string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, func() (Metrics, error) {
-		return RunSingle(run, benchmark)
+	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, func(ctx context.Context) (Metrics, error) {
+		return RunSingleContext(ctx, run, benchmark)
 	})
 }
 

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 
 	"stackedsim/internal/attrib"
 	"stackedsim/internal/bus"
@@ -13,6 +15,7 @@ import (
 	"stackedsim/internal/config"
 	"stackedsim/internal/cpu"
 	"stackedsim/internal/dram"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/memctrl"
 	"stackedsim/internal/mshr"
@@ -41,6 +44,10 @@ type System struct {
 	AMap  mem.AddrMap
 
 	Resizer *mshr.Resizer
+	// Faults is the compiled fault injector (nil when cfg.Faults is nil
+	// or fault-free — the disabled state is bit-identical to the seed
+	// simulator).
+	Faults *fault.Injector
 	// Sources are the per-core μop streams; Labels name them (benchmark
 	// names for generator-driven runs, file names for trace replays).
 	Sources []cpu.UOpSource
@@ -96,6 +103,18 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		return nil, err
 	}
 
+	// Fault injection. An absent or fault-free scenario keeps Faults
+	// nil — the fully disabled state, bit-identical to a build that
+	// never heard of the fault package (TestDisabledInjectorParity).
+	if cfg.Faults.Active() {
+		inj, err := fault.NewInjector(cfg.Faults, cfg.Seed, cfg.MCs, cfg.RanksPerMC())
+		if err != nil {
+			return nil, err
+		}
+		inj.SetClock(s.Engine.Now)
+		s.Faults = inj
+	}
+
 	// DRAM + controllers.
 	timing := dram.TimingInCycles(cfg.Timing, cfg.CPUMHz)
 	for m := 0; m < cfg.MCs; m++ {
@@ -107,7 +126,16 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 				ranks[r].EnableSmartRefresh(rowsPerBank)
 			}
 		}
+		// The same per-controller fault view is shared by the bus, the
+		// banks and the scheduler so they agree on what is broken when.
+		view := s.Faults.MC(m)
 		b := bus.New(cfg.BusBytes, cfg.BusDivider, cfg.BusDDR)
+		b.SetFaults(view)
+		for _, rank := range ranks {
+			for _, bank := range rank.Banks {
+				bank.SetFaults(view)
+			}
+		}
 		s.Buses = append(s.Buses, b)
 		s.MCs = append(s.MCs, memctrl.New(memctrl.Params{
 			ID:                m,
@@ -122,11 +150,15 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 			WordBytes:         8,
 			Respond:           func(r *mem.Request, now sim.Cycle) { r.Complete(now) },
 		}))
+		s.MCs[m].SetFaults(view)
 	}
 
 	// Shared L2 + MHA.
 	ids := &mem.IDSource{}
 	s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: s.MCs, IDs: ids})
+	for _, f := range s.L2.MSHRBanks() {
+		f.SetFaults(s.Faults.MSHR())
+	}
 
 	// Cores with private L1s and their μop sources.
 	s.Sources = sources
@@ -232,6 +264,7 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 			rank.Instrument(reg, fmt.Sprintf("dram.mc%d.rank%d", i, r))
 		}
 	}
+	s.Faults.Instrument(reg)
 	if tel.Sampler != nil {
 		// Registered last so each sample reflects the end of its cycle,
 		// and on the sampler's own interval so non-boundary cycles skip
@@ -306,14 +339,31 @@ type Metrics struct {
 	// RefreshSkipRate is the fraction of refresh commands smart refresh
 	// elided (0 unless config.SmartRefresh).
 	RefreshSkipRate float64
+
+	// Faults counts injected fault events and their cost (all zero when
+	// the run had no fault scenario).
+	Faults fault.Stats
 }
 
 // Run executes warmup then the measured window and returns the metrics.
 func (s *System) Run() Metrics {
-	s.Engine.Run(sim.Cycle(s.Cfg.WarmupCycles))
+	m, _ := s.RunContext(context.Background())
+	return m
+}
+
+// RunContext is Run with cancellation: warmup then the measured window,
+// polling ctx between cycle chunks. On cancellation it returns the
+// metrics collected so far (partial, still well-formed) along with
+// ctx's error, so sweeps can export what completed.
+func (s *System) RunContext(ctx context.Context) (Metrics, error) {
+	if _, err := s.Engine.RunCtx(ctx, sim.Cycle(s.Cfg.WarmupCycles)); err != nil {
+		return s.Collect(), err
+	}
 	s.ResetStats()
-	s.Engine.Run(sim.Cycle(s.Cfg.MeasureCycles))
-	return s.Collect()
+	if _, err := s.Engine.RunCtx(ctx, sim.Cycle(s.Cfg.MeasureCycles)); err != nil {
+		return s.Collect(), err
+	}
+	return s.Collect(), nil
 }
 
 // Collect gathers metrics for the elapsed measured window.
@@ -393,11 +443,62 @@ func (s *System) Collect() Metrics {
 	if accesses > 0 {
 		m.ProbesPerAccess = float64(probes) / float64(accesses)
 	}
+	m.Faults = s.Faults.Stats()
 	return m
+}
+
+// Digest folds the architectural state visible through statistics —
+// per-core commit counts, cache/controller/bank/bus counters and the
+// fault log — into one FNV-1a hash. Two systems that simulated the
+// same cycles from the same inputs have equal digests; checkpoint
+// resume uses this to verify replay put the machine back exactly.
+func (s *System) Digest() uint64 {
+	h := fnv.New64a()
+	word := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			for i := range buf {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	word(uint64(s.Engine.Now()))
+	for _, c := range s.Cores {
+		word(c.Committed())
+	}
+	l2 := s.L2.Stats()
+	word(l2.Accesses, l2.Hits, l2.MSHRStalls)
+	for _, f := range s.L2.MSHRBanks() {
+		st := f.Stats()
+		word(st.Accesses, st.Probes)
+	}
+	for i, mc := range s.MCs {
+		st := mc.Stats()
+		word(st.Reads, st.Writes, st.RowHits)
+		bst := s.Buses[i].Stats()
+		word(bst.Bytes, bst.BusyCycles)
+		for _, rank := range mc.Ranks() {
+			for _, bank := range rank.Banks {
+				bs := bank.Stats()
+				word(bs.Accesses, bs.Activates, bs.Refreshes)
+			}
+		}
+	}
+	fs := s.Faults.Stats()
+	word(fs.BitErrorsCorrected, fs.BitErrorsUncorrectable, fs.ECCRetryCycles,
+		fs.RankBlocked, fs.RankRemaps, fs.MCStallEdges,
+		fs.LinkDegradedTransfers, fs.LinkDeadWaitCycles, fs.MSHRParityErrors)
+	return h.Sum64()
 }
 
 // RunMix builds and runs the named Table 2b mix under cfg.
 func RunMix(cfg *config.Config, mixName string) (Metrics, error) {
+	return RunMixContext(context.Background(), cfg, mixName)
+}
+
+// RunMixContext is RunMix under a cancellation context.
+func RunMixContext(ctx context.Context, cfg *config.Config, mixName string) (Metrics, error) {
 	mix, ok := workload.MixByName(mixName)
 	if !ok {
 		return Metrics{}, fmt.Errorf("core: unknown mix %q", mixName)
@@ -406,16 +507,21 @@ func RunMix(cfg *config.Config, mixName string) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	m := sys.Run()
+	m, err := sys.RunContext(ctx)
 	m.Config = cfg.Name
-	return m, nil
+	return m, err
 }
 
 // RunSingle runs one benchmark alone on core 0 (Table 2a methodology).
 func RunSingle(cfg *config.Config, benchmark string) (Metrics, error) {
+	return RunSingleContext(context.Background(), cfg, benchmark)
+}
+
+// RunSingleContext is RunSingle under a cancellation context.
+func RunSingleContext(ctx context.Context, cfg *config.Config, benchmark string) (Metrics, error) {
 	sys, err := NewSystem(cfg, []string{benchmark})
 	if err != nil {
 		return Metrics{}, err
 	}
-	return sys.Run(), nil
+	return sys.RunContext(ctx)
 }

@@ -10,6 +10,7 @@ import (
 
 	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
 )
@@ -69,6 +70,10 @@ type Bank struct {
 	busyUntil sim.Cycle
 	lastAct   sim.Cycle // most recent activate, for the tRAS constraint
 	stats     BankStats
+
+	// flt, when set, injects transient bit errors into reads (ECC
+	// correction and uncorrectable-retry penalties). Nil = fault-free.
+	flt *fault.MCView
 }
 
 // NewBank returns an idle bank with the given row-buffer-cache capacity.
@@ -81,6 +86,10 @@ func NewBank(t Timing, rowBufEntries int) *Bank {
 
 // Stats returns the bank's counters.
 func (b *Bank) Stats() *BankStats { return &b.stats }
+
+// SetFaults points the bank at its controller's fault-injection view.
+// A nil view (the default) is fault-free.
+func (b *Bank) SetFaults(v *fault.MCView) { b.flt = v }
 
 // Ready reports whether the bank can accept a command at cycle now.
 func (b *Bank) Ready(now sim.Cycle) bool { return now >= b.busyUntil }
@@ -141,9 +150,10 @@ func (b *Bank) access(now sim.Cycle, row int64, write bool, tag *attrib.Tag) (da
 				b.rb[0].dirty = true
 			}
 			dataAt = now + b.timing.CAS
-			b.busyUntil = dataAt
 			tag.Data(dataAt, true)
 			tag.DRAMPhases(0, 0, 0, b.timing.CAS)
+			dataAt = b.faultDelay(now, dataAt, write, tag)
+			b.busyUntil = dataAt
 			return dataAt, true
 		}
 	}
@@ -179,10 +189,28 @@ func (b *Bank) access(now sim.Cycle, row int64, write bool, tag *attrib.Tag) (da
 	copy(b.rb[1:], b.rb[0:len(b.rb)-1])
 	b.rb[0] = rbEntry{row: row, dirty: write}
 	dataAt = start + b.timing.RCD + b.timing.CAS
-	b.busyUntil = dataAt
 	tag.Data(dataAt, false)
 	tag.DRAMPhases(writeRec, precharge, b.timing.RCD, b.timing.CAS)
+	dataAt = b.faultDelay(now, dataAt, write, tag)
+	b.busyUntil = dataAt
 	return dataAt, false
+}
+
+// faultDelay applies any injected bit-error penalty to a read's
+// delivery: ECC correction latency, or detection plus re-reads for
+// uncorrectable errors. The bank stays busy through the recovery and
+// the delay is attributed to the tag's retry stage. Writes are
+// unaffected (errors surface on read).
+func (b *Bank) faultDelay(now, dataAt sim.Cycle, write bool, tag *attrib.Tag) sim.Cycle {
+	if write || b.flt == nil {
+		return dataAt
+	}
+	p := b.flt.ReadPenalty(now, b.timing.CAS)
+	if p == 0 {
+		return dataAt
+	}
+	tag.Retry(p)
+	return dataAt + p
 }
 
 // Refresh blocks the bank for one refresh command starting no earlier

@@ -1,0 +1,204 @@
+// Package fault implements seeded, deterministic fault injection for
+// the 3D-stacked memory hierarchy. A Scenario (loaded from JSON or
+// built in code) lists fault Specs — transient bit errors in the DRAM
+// arrays, stuck-busy or dead ranks, degraded or dead TSV channel
+// links, stalling or flapping memory controllers, and MSHR probe
+// parity errors — each armed over a cycle window, a periodic duty
+// cycle, or a per-event probability. An Injector compiled from the
+// scenario hands the instrumented components (dram, bus, memctrl,
+// mshr) nil-safe per-controller views; all probabilistic draws come
+// from one seeded math/rand stream consumed in deterministic engine
+// order, so a fixed seed + scenario replays bit-identically.
+//
+// Like internal/telemetry and internal/attrib, the package is
+// nil-safe end to end: a nil *Injector hands out nil views, and every
+// query on a nil view is the fault-free answer, so a system built
+// without a scenario is bit-identical to one that never imported this
+// package.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"stackedsim/internal/sim"
+)
+
+// Kind names one failure mode. The zero value is invalid.
+type Kind string
+
+const (
+	// KindBitError injects transient bit errors into DRAM reads with
+	// per-read probability Prob. A fraction UncorrectablePct of them
+	// are detected-uncorrectable and force a re-read (CAS + ECC check
+	// per attempt); the rest are ECC-corrected for ECCLatency cycles.
+	KindBitError Kind = "bit-error"
+	// KindRankStuck holds a rank busy (unschedulable) over the window;
+	// queued requests for it wait, other ranks keep serving.
+	KindRankStuck Kind = "rank-stuck"
+	// KindRankDead fails a rank over the window. With Failover set,
+	// its requests remap to the next healthy rank on the controller;
+	// without it they stall until the window closes.
+	KindRankDead Kind = "rank-dead"
+	// KindTSVDegraded runs the controller's TSV data bus at reduced
+	// width over the window: transfers take WidthFactor times longer.
+	KindTSVDegraded Kind = "tsv-degraded"
+	// KindTSVDead takes the controller's TSV data bus down over the
+	// window; bursts wait for the window to close.
+	KindTSVDead Kind = "tsv-dead"
+	// KindMCStall stops a controller from issuing over the window
+	// (refresh and in-flight completions still proceed).
+	KindMCStall Kind = "mc-stall"
+	// KindMCFlap stalls a controller periodically: within each Period,
+	// the first Duty fraction of cycles is stalled, starting at From.
+	KindMCFlap Kind = "mc-flap"
+	// KindMSHRParity injects probe parity errors in the L2's MSHR
+	// lookups with probability Prob per lookup, costing one re-probe.
+	KindMSHRParity Kind = "mshr-parity"
+)
+
+// Spec arms one fault. Window fields are absolute CPU cycles measured
+// from simulation start (warmup included); Until == 0 leaves the
+// window open-ended.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// MC selects the memory controller (and its ranks/bus); -1 or
+	// omitted-with-"all" semantics: MC < 0 targets every controller.
+	MC int `json:"mc"`
+	// Rank selects the rank within the controller for rank-stuck and
+	// rank-dead.
+	Rank int `json:"rank"`
+	// From and Until bound the active window in CPU cycles.
+	From  sim.Cycle `json:"from"`
+	Until sim.Cycle `json:"until,omitempty"`
+	// Period and Duty shape mc-flap: stalled for the first
+	// Duty*Period cycles of every Period, phase-aligned to From.
+	Period sim.Cycle `json:"period,omitempty"`
+	Duty   float64   `json:"duty,omitempty"`
+	// Prob is the per-event probability for bit-error (per DRAM read)
+	// and mshr-parity (per MSHR lookup).
+	Prob float64 `json:"prob,omitempty"`
+	// UncorrectablePct is the fraction of injected bit errors that are
+	// detected-uncorrectable (default 0: all ECC-correctable).
+	UncorrectablePct float64 `json:"uncorrectable_pct,omitempty"`
+	// ECCLatency is the correction/detection penalty in CPU cycles
+	// (default DefaultECCLatency).
+	ECCLatency sim.Cycle `json:"ecc_latency,omitempty"`
+	// WidthFactor is the transfer-time multiplier for tsv-degraded
+	// (default 2: half width).
+	WidthFactor int `json:"width_factor,omitempty"`
+	// Failover remaps requests for a dead rank to the next healthy
+	// rank instead of stalling them.
+	Failover bool `json:"failover,omitempty"`
+}
+
+// DefaultECCLatency is the ECC correction/detection penalty applied
+// when a bit-error spec leaves ECCLatency zero.
+const DefaultECCLatency sim.Cycle = 8
+
+// maxReadRetries bounds the uncorrectable-error re-read loop so a
+// pathological Prob/UncorrectablePct cannot wedge a bank forever.
+const maxReadRetries = 4
+
+// Scenario is a named, seeded set of fault specs. An empty Faults
+// list is valid: the injector is constructed but injects nothing,
+// which the parity tests pin as bit-identical to no injector at all.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed drives all probabilistic draws; 0 defers to the run seed.
+	Seed   int64  `json:"seed,omitempty"`
+	Faults []Spec `json:"faults"`
+}
+
+// Load reads and validates a scenario from a JSON file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a scenario from JSON bytes.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("fault scenario: invalid JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks machine-shape-independent constraints. Per-machine
+// bounds (MC and rank indices) are checked by NewInjector, which
+// knows the topology.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, f := range s.Faults {
+		where := fmt.Sprintf("fault scenario %q, fault #%d (%s)", s.Name, i, f.Kind)
+		switch f.Kind {
+		case KindBitError, KindMSHRParity:
+			if f.Prob <= 0 || f.Prob > 1 {
+				return fmt.Errorf("%s: prob must be in (0, 1], got %g", where, f.Prob)
+			}
+		case KindRankStuck, KindRankDead:
+			if f.Rank < 0 {
+				return fmt.Errorf("%s: rank must be >= 0, got %d", where, f.Rank)
+			}
+		case KindTSVDegraded:
+			if f.WidthFactor < 0 || f.WidthFactor == 1 {
+				return fmt.Errorf("%s: width_factor must be >= 2 (or 0 for the default), got %d", where, f.WidthFactor)
+			}
+		case KindTSVDead:
+			// A dead link with no end would hold every burst forever;
+			// require a finite window.
+			if f.Until == 0 {
+				return fmt.Errorf("%s: until is required (an open-ended dead link never recovers)", where)
+			}
+		case KindMCStall:
+			// Window-only fault; checked below.
+		case KindMCFlap:
+			if f.Period <= 0 {
+				return fmt.Errorf("%s: period must be > 0, got %d", where, f.Period)
+			}
+			if f.Duty <= 0 || f.Duty > 1 {
+				return fmt.Errorf("%s: duty must be in (0, 1], got %g", where, f.Duty)
+			}
+		case "":
+			return fmt.Errorf("fault scenario %q, fault #%d: missing kind", s.Name, i)
+		default:
+			return fmt.Errorf("fault scenario %q, fault #%d: unknown kind %q", s.Name, i, f.Kind)
+		}
+		if f.Kind == KindBitError && (f.UncorrectablePct < 0 || f.UncorrectablePct > 1) {
+			return fmt.Errorf("%s: uncorrectable_pct must be in [0, 1], got %g", where, f.UncorrectablePct)
+		}
+		if f.From < 0 {
+			return fmt.Errorf("%s: from must be >= 0, got %d", where, f.From)
+		}
+		if f.Until != 0 && f.Until <= f.From {
+			return fmt.Errorf("%s: until (%d) must be 0 (open) or > from (%d)", where, f.Until, f.From)
+		}
+		if f.ECCLatency < 0 {
+			return fmt.Errorf("%s: ecc_latency must be >= 0, got %d", where, f.ECCLatency)
+		}
+	}
+	return nil
+}
+
+// Active reports whether the scenario arms at least one fault.
+func (s *Scenario) Active() bool { return s != nil && len(s.Faults) > 0 }
+
+// window is a half-open active interval [from, until); until == 0
+// leaves it open-ended.
+type window struct {
+	from, until sim.Cycle
+}
+
+func (w window) contains(c sim.Cycle) bool {
+	return c >= w.from && (w.until == 0 || c < w.until)
+}

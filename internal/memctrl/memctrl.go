@@ -14,6 +14,7 @@ import (
 
 	"stackedsim/internal/bus"
 	"stackedsim/internal/dram"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
@@ -80,6 +81,12 @@ type Controller struct {
 	trace      *telemetry.Tracer
 	mcTrack    telemetry.Track
 	rankTracks []telemetry.Track
+
+	// flt, when set, injects controller faults: stall/flap windows
+	// gate scheduling edges, stuck or dead ranks are skipped by the
+	// scheduler, and dead ranks with failover remap their requests to
+	// a healthy rank. Nil = fault-free.
+	flt *fault.MCView
 }
 
 // New returns a controller. It panics on malformed parameters, which are
@@ -119,6 +126,11 @@ func (c *Controller) Ranks() []*dram.Rank { return c.p.Ranks }
 
 // Stats returns the counters.
 func (c *Controller) Stats() *Stats { return &c.stats }
+
+// SetFaults points the controller at its fault-injection view. A nil
+// view (the default) is fault-free. The same view must be shared with
+// the controller's data bus and banks so windows line up.
+func (c *Controller) SetFaults(v *fault.MCView) { c.flt = v }
 
 // QueueLen reports the current MRQ occupancy.
 func (c *Controller) QueueLen() int { return c.queue.Len() }
@@ -192,7 +204,10 @@ func (c *Controller) pick(now sim.Cycle) int {
 	}
 	if !c.p.FRFCFS {
 		r := c.queue.At(0)
-		loc := c.p.AMap.Decode(r.Line)
+		loc, _ := c.loc(r, now)
+		if c.flt.RankBlocked(now, loc.Rank) {
+			return -1
+		}
 		if bk := c.bank(loc); bk.Ready(now) {
 			return 0
 		}
@@ -201,7 +216,10 @@ func (c *Controller) pick(now sim.Cycle) int {
 	read, rowHitWrite, write := -1, -1, -1
 	for i := 0; i < c.queue.Len(); i++ {
 		r := c.queue.At(i)
-		loc := c.p.AMap.Decode(r.Line)
+		loc, _ := c.loc(r, now)
+		if c.flt.RankBlocked(now, loc.Rank) {
+			continue
+		}
 		bk := c.bank(loc)
 		if !bk.Ready(now) {
 			continue
@@ -238,6 +256,19 @@ func (c *Controller) bank(loc mem.Loc) *dram.Bank {
 	return c.p.Ranks[loc.Rank].Banks[loc.Bank]
 }
 
+// loc decodes a request's DRAM location, remapping requests for a
+// dead rank to its failover target when the scenario allows it. The
+// remap must be recomputed at schedule time (not cached at submit) so
+// the whole scheduling pass sees one consistent fault state per edge.
+func (c *Controller) loc(r *mem.Request, now sim.Cycle) (mem.Loc, bool) {
+	loc := c.p.AMap.Decode(r.Line)
+	if tgt, ok := c.flt.FailoverTarget(now, loc.Rank); ok {
+		loc.Rank = tgt
+		return loc, true
+	}
+	return loc, false
+}
+
 // Tick advances the controller one CPU cycle: refresh logic runs when
 // due, completions are delivered at their exact cycle, and one new
 // command is scheduled on each controller-clock edge. When the
@@ -256,6 +287,11 @@ func (c *Controller) tick(now sim.Cycle) {
 	if !c.p.Divider.Edge(now) {
 		return
 	}
+	// A stalled or flapping controller skips its scheduling edge;
+	// refresh and in-flight completions above still proceed.
+	if c.flt.StallEdge(now) {
+		return
+	}
 	i := c.pick(now)
 	if i < 0 {
 		return
@@ -263,7 +299,10 @@ func (c *Controller) tick(now sim.Cycle) {
 	r := c.queue.RemoveAt(i)
 	c.stats.QueueCycles += uint64(now - r.Issued)
 	c.queueDelay.Observe(int(now - r.Issued))
-	loc := c.p.AMap.Decode(r.Line)
+	loc, remapped := c.loc(r, now)
+	if remapped {
+		c.flt.NoteRemap()
+	}
 	bk := c.bank(loc)
 	write := r.Kind == mem.Write || r.Kind == mem.Writeback
 	r.Attrib.Sched(now, loc.Rank)
@@ -301,7 +340,7 @@ func (c *Controller) tick(now sim.Cycle) {
 		if word <= 0 {
 			word = 8
 		}
-		if early := start + c.p.DataBus.TransferCycles(word); early < end {
+		if early := start + c.p.DataBus.TransferCyclesAt(start, word); early < end {
 			end = early
 		}
 	}

@@ -13,6 +13,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -34,6 +35,18 @@ type Progress struct {
 	Running   int64 `json:"running"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Runs, when supplied, lists every executed run so /snapshot shows
+	// which ones failed (Err != "") and which ran slow.
+	Runs []RunReport `json:"runs,omitempty"`
+}
+
+// RunReport mirrors core.RunReport on the wire: one executed run's
+// identity, wall time, and outcome (empty Err = success).
+type RunReport struct {
+	Config      string  `json:"config"`
+	Label       string  `json:"label"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Err         string  `json:"error,omitempty"`
 }
 
 // scalar is one counter/gauge value frozen at snapshot time.
@@ -171,12 +184,22 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener.
+// Close stops the listener immediately, dropping in-flight scrapes.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once
+// (no new scrapes) while in-flight requests get until ctx is done to
+// finish. A server that never Started shuts down trivially.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

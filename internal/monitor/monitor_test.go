@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -190,5 +191,58 @@ func TestNilSourcesServeEmpty(t *testing.T) {
 	body, _ = get(t, ts.URL+"/snapshot")
 	if !strings.Contains(body, `"running": 4`) {
 		t.Fatalf("progress-only /snapshot missing progress:\n%s", body)
+	}
+}
+
+// TestSnapshotShowsRunReports pins the failed/slow-run surfacing: per-
+// run reports supplied through Progress appear in /snapshot.
+func TestSnapshotShowsRunReports(t *testing.T) {
+	s := &Server{ProgressFn: func() Progress {
+		return Progress{Completed: 1, Failed: 1, Runs: []RunReport{
+			{Config: "3D-fast", Label: "H1", WallSeconds: 1.5},
+			{Config: "3D-fast", Label: "H2", WallSeconds: 0.1, Err: "context canceled"},
+		}}
+	}}
+	s.Collect(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := get(t, ts.URL+"/snapshot")
+	var snap struct {
+		Progress *Progress `json:"progress"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Progress == nil || len(snap.Progress.Runs) != 2 {
+		t.Fatalf("snapshot runs = %+v", snap.Progress)
+	}
+	if snap.Progress.Runs[1].Err != "context canceled" {
+		t.Fatalf("failed run not surfaced: %+v", snap.Progress.Runs[1])
+	}
+}
+
+// TestShutdownGraceful pins that Shutdown stops the listener (new
+// requests fail) and is safe both repeated and on a never-started
+// server.
+func TestShutdownGraceful(t *testing.T) {
+	var idle Server
+	if err := idle.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown of never-started server: %v", err)
+	}
+	s := &Server{}
+	s.Collect(0)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	get(t, "http://"+addr+"/healthz")
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still serving after Shutdown")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"stackedsim/internal/config"
+	"stackedsim/internal/fault"
 	"stackedsim/internal/mem"
 	"stackedsim/internal/stats"
 	"stackedsim/internal/telemetry"
@@ -78,6 +79,11 @@ type File struct {
 	// probeDist, when instrumented, mirrors per-lookup probe counts
 	// into the telemetry registry (nil = disabled, no-op).
 	probeDist *telemetry.Distribution
+
+	// flt, when set, injects probe parity errors: an affected lookup
+	// costs one extra probe (the re-read after the parity check
+	// fails). Nil = fault-free.
+	flt *fault.MSHRView
 }
 
 // New returns an empty MSHR bank of the given kind and capacity.
@@ -114,6 +120,10 @@ func (f *File) Full() bool { return f.table.Full() }
 // Stats returns a snapshot pointer (read-only use intended).
 func (f *File) Stats() *Stats { return &f.stats }
 
+// SetFaults points the bank at the fault injector's MSHR view. A nil
+// view (the default) is fault-free.
+func (f *File) SetFaults(v *fault.MSHRView) { f.flt = v }
+
 // key converts a line address to the table key. Low bits below the line
 // offset are already stripped by the caller; dividing by the line size
 // spreads consecutive lines across consecutive slots, matching the mod-N
@@ -135,6 +145,9 @@ func (f *File) Lookup(line mem.Addr) (e *Entry, probes int, found bool) {
 		slot, probes, found = f.table.SearchLinear(key(line))
 	default:
 		panic(fmt.Sprintf("mshr: unknown kind %v", f.kind))
+	}
+	if f.flt.ProbeParity() {
+		probes++
 	}
 	f.stats.Accesses++
 	f.stats.Probes += uint64(probes)

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestEngineTickOrder(t *testing.T) {
 	e := NewEngine()
@@ -442,5 +445,51 @@ func TestDelayNegativeLatencyClamped(t *testing.T) {
 	d := NewDelay[int](-5)
 	if d.Latency() != 0 {
 		t.Fatalf("Latency() = %d, want 0", d.Latency())
+	}
+}
+
+func TestRunCtx(t *testing.T) {
+	e := NewEngine()
+	var ticks int
+	e.Register(TickFunc(func(Cycle) { ticks++ }))
+
+	n, err := e.RunCtx(context.Background(), 10_000)
+	if err != nil || n != 10_000 {
+		t.Fatalf("RunCtx = %d,%v want 10000,nil", n, err)
+	}
+	if ticks != 10_000 {
+		t.Fatalf("ticks = %d, want 10000", ticks)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err = e.RunCtx(ctx, 10_000)
+	if err != context.Canceled || n != 0 {
+		t.Fatalf("cancelled RunCtx = %d,%v want 0,Canceled", n, err)
+	}
+
+	// The engine stays resumable: a fresh context picks up exactly where
+	// the cancelled run stopped.
+	n, err = e.RunCtx(context.Background(), 5)
+	if err != nil || n != 5 {
+		t.Fatalf("resumed RunCtx = %d,%v want 5,nil", n, err)
+	}
+	if e.Now() != 10_005 {
+		t.Fatalf("Now() = %d, want 10005", e.Now())
+	}
+}
+
+func TestRunCtxMidRunCancellation(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the simulation partway through: the run must
+	// stop at the next context check, not run to completion.
+	e.Schedule(ctxCheckInterval+1, cancel)
+	n, err := e.RunCtx(ctx, 100*ctxCheckInterval)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if n != 2*ctxCheckInterval {
+		t.Fatalf("stepped %d cycles, want %d (cancel lands at the next check)", n, 2*ctxCheckInterval)
 	}
 }

@@ -15,6 +15,11 @@
 #      faster), plus a statsdiff of the two exports' shared metrics as
 #      a non-fatal sanity report (identical simulations must agree on
 #      every non-attrib metric).
+#   4. The same run with fault injection on (a light always-on bit-error
+#      scenario) vs off, emitting BENCH_fault.json with both walls and
+#      the enabled overhead. A fault-free run never constructs the
+#      injector — every component holds a nil view — so the off wall
+#      doubles as the baseline; only the enabled cost is measured.
 #
 # Usage: scripts/bench.sh [outdir]   (default outdir: results)
 #
@@ -91,7 +96,7 @@ best_wall() {
     for _ in 1 2 3; do
         rm -rf "$dir"
         # shellcheck disable=SC2086 # $attrib_args is a word list by design
-        "$sbin" $attrib_args "$@" -telemetry-dir "$dir" > /dev/null
+        "$sbin" $attrib_args -telemetry-dir "$dir" "$@" > /dev/null
         w=$(json_field "$dir/manifest.json" wall_seconds)
         best=$(awk -v a="${best:-$w}" -v b="$w" 'BEGIN { print (b < a) ? b : a }')
     done
@@ -132,3 +137,34 @@ echo "== statsdiff attrib-on vs attrib-off (shared metrics must be unchanged)"
 "$dbin" -threshold 0.0001 \
     "$attrib_off/timeseries.csv" "$attrib_on/timeseries.csv" \
     || echo "bench: WARNING: attribution changed shared metrics (parity bug)"
+
+# Fault-injection overhead: the same run with a light always-on
+# bit-error scenario vs plain. The off run IS the attrib-off run above
+# (identical flags), so only the faulted wall is new work.
+fault_tmp=$(mktemp -d)
+cat > "$fault_tmp/scenario.json" <<'EOF'
+{
+  "name": "bench",
+  "faults": [
+    {"kind": "bit-error", "mc": -1, "prob": 0.01, "uncorrectable_pct": 0.05},
+    {"kind": "mshr-parity", "prob": 0.005}
+  ]
+}
+EOF
+echo "== fault injection on (best of 3): $attrib_args -fault-scenario bench"
+fault_wall=$(best_wall "$fault_tmp/fault_on" -attrib=false -fault-scenario "$fault_tmp/scenario.json")
+
+fault_overhead=$(awk -v on="$fault_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
+
+cat > "$outdir/BENCH_fault.json" <<EOF
+{
+  "run": "quadMC VH1 @ warmup=50000 measure=600000, best wall of 3",
+  "scenario": "bit-error prob=0.01 uncorrectable_pct=0.05 + mshr-parity prob=0.005",
+  "fault_on_wall_seconds": $fault_wall,
+  "fault_off_wall_seconds": $off_wall,
+  "fault_enabled_overhead": $fault_overhead
+}
+EOF
+echo "== $outdir/BENCH_fault.json"
+cat "$outdir/BENCH_fault.json"

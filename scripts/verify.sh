@@ -9,7 +9,12 @@
 # and the experiment harness (whose Runner fans simulations over a
 # worker pool; the concurrent-caller and parity tests only bite under
 # -race). Core runs -short to skip the real-window stability sweep,
-# which the plain pass already covers.
+# which the plain pass already covers; the -short pass also exercises
+# the robustness tests (cancellation, per-run deadlines, panic
+# isolation, checkpoint/resume) under the race detector, where a data
+# race between a cancelled worker and the collector would surface.
+# internal/fault rides along because its views are shared with every
+# memory component a run touches.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,8 +27,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
