@@ -48,7 +48,7 @@ func main() { os.Exit(run()) }
 // (profile flush, graceful monitor shutdown) run even on failure.
 func run() int {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,tsv,thermal,ablations")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,stackcap,tsv,thermal,ablations")
 		warmup  = flag.Int64("warmup", 200_000, "warmup cycles per run")
 		measure = flag.Int64("measure", 600_000, "measured cycles per run")
 		verbose = flag.Bool("v", false, "print per-run progress")
@@ -165,6 +165,7 @@ func run() int {
 		{"energy", "%.2f", r.EnergyFigure},
 		{"banking", "%.3f", r.MSHRBankingFigure},
 		{"stability", "%.4f", r.StabilityFigure},
+		{"stackcap", "%.3f", r.StackCapacityFigure},
 		{"ablations", "%.3f", r.Ablations},
 	}
 

@@ -7,6 +7,7 @@
 //	stacksim -config 3D-fast -mix VH1
 //	stacksim -config 3D-fast -mix H1,H2,VH1 -j 4
 //	stacksim -config quadmc -bench S.copy,mcf -measure 1000000
+//	stacksim -config 3D-fast -stack-mode cache -stack-cap-mb 64 -mix H1
 //	stacksim -config quadmc -mix VH1 -telemetry-dir out/ -sample-every 1000 -trace-events
 //	stacksim -list
 //
@@ -81,9 +82,17 @@ func main() {
 		cwf     = flag.Bool("cwf", false, "critical-word-first read delivery")
 		smart   = flag.Bool("smartrefresh", false, "skip refreshes for access-restored rows")
 		unified = flag.Bool("unified-mshr", false, "one shared L2 MSHR file instead of per-MC banks")
-		traces  = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
-		list    = flag.Bool("list", false, "list benchmarks and mixes, then exit")
-		jobs    = flag.Int("j", 0, "concurrent simulations for a multi-mix sweep (0 = GOMAXPROCS)")
+
+		stackMode   = flag.String("stack-mode", "memory", "stacked-DRAM use: memory (all of main memory), cache, or memcache (hot region + cache)")
+		stackCapMB  = flag.Int("stack-cap-mb", 64, "stack capacity in MB (cache/memcache modes)")
+		stackWays   = flag.Int("stack-ways", 16, "stack cache associativity")
+		stackSRAM   = flag.Bool("stack-tags-sram", true, "tag directory in SRAM (false = tags stored in the stacked DRAM)")
+		stackTagLat = flag.Int("stack-tag-lat", 2, "SRAM tag-probe latency in CPU cycles")
+		stackFill   = flag.Int("stack-fill-bytes", 0, "fill/allocation granularity in bytes (0 = one page)")
+		stackHot    = flag.Float64("stack-hot-frac", 0.5, "memcache: fraction of the stack that is direct-addressed hot memory")
+		traces      = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
+		list        = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		jobs        = flag.Int("j", 0, "concurrent simulations for a multi-mix sweep (0 = GOMAXPROCS)")
 
 		faultScenario = flag.String("fault-scenario", "", "JSON fault scenario to inject into the memory hierarchy (see docs/ROBUSTNESS.md)")
 		faultSeed     = flag.Int64("fault-seed", 0, "override the scenario's fault-stream seed (0 keeps the scenario/run default)")
@@ -104,7 +113,7 @@ func main() {
 	)
 	flag.Parse()
 	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName,
-		*checkpoint, *resume, *traces, *ckptEvery)
+		*checkpoint, *resume, *traces, *ckptEvery, *stackMode)
 
 	if *list {
 		fmt.Println("benchmarks (Table 2a):")
@@ -143,6 +152,23 @@ func main() {
 			kind = config.MSHRVBF
 		}
 		cfg = cfg.WithMSHR(*mshrX, kind, *dynamic)
+	}
+	if *stackMode != "memory" {
+		mode, err := config.ParseStackMode(*stackMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg = cfg.WithStackCache(mode, *stackCapMB)
+		cfg.StackWays = *stackWays
+		cfg.StackTagsInSRAM = *stackSRAM
+		cfg.StackTagLatency = *stackTagLat
+		if *stackFill > 0 {
+			cfg.StackFillBytes = *stackFill
+		}
+		if mode == config.StackMemCache {
+			cfg.StackHotFrac = *stackHot
+		}
 	}
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
@@ -378,9 +404,22 @@ func main() {
 // conflicts with sweep mode, and checkpoint/resume describe one
 // generator-driven run.
 func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
-	checkpoint, resume, traces string, ckptEvery int64) {
+	checkpoint, resume, traces string, ckptEvery int64, stackMode string) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if stackMode == "memory" {
+		for _, name := range []string{"stack-cap-mb", "stack-ways", "stack-tags-sram",
+			"stack-tag-lat", "stack-fill-bytes", "stack-hot-frac"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "stacksim: -%s does nothing in memory mode; add -stack-mode cache or memcache\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	if explicit["stack-hot-frac"] && stackMode == "cache" {
+		fmt.Fprintln(os.Stderr, "stacksim: -stack-hot-frac only applies to -stack-mode memcache")
+		os.Exit(2)
+	}
 	if telemetryDir == "" {
 		for _, name := range []string{"sample-every", "trace-events", "trace-sample", "attrib"} {
 			if explicit[name] {
@@ -522,6 +561,23 @@ func report(cfg *config.Config, m core.Metrics) {
 	fmt.Printf("DRAM reads/writes: %d / %d\n", m.DRAMReads, m.DRAMWrites)
 	fmt.Printf("MSHR-full set-asides: %d\n", m.MSHRFullStalls)
 	fmt.Printf("DRAM energy: %s\n", m.Energy)
+	if st := m.Stack; st.Probes+st.DirectReads+st.DirectWrites > 0 {
+		fmt.Printf("stack cache: hit rate %.3f  (probes=%d hits=%d merges=%d fills=%d)\n",
+			m.StackHitRate, st.Probes, st.Hits, st.MissMerges, st.Fills)
+		fmt.Printf("  writebacks absorbed/forwarded: %d / %d   backing reads/writes: %d / %d\n",
+			st.WritebacksIn, st.WritebacksOut, m.BackingReads, m.BackingWrites)
+		if st.DirectReads+st.DirectWrites > 0 {
+			fmt.Printf("  hot-region direct reads/writes: %d / %d\n", st.DirectReads, st.DirectWrites)
+		}
+	}
+	if pf := m.PrefetchL1; pf.Issued > 0 {
+		fmt.Printf("L1 prefetch: issued=%d useful=%d accuracy=%.2f drops=%d\n",
+			pf.Issued, pf.Useful, pf.Accuracy(), pf.Drops)
+	}
+	if pf := m.PrefetchL2; pf.Issued > 0 {
+		fmt.Printf("L2 prefetch: issued=%d useful=%d accuracy=%.2f drops=%d\n",
+			pf.Issued, pf.Useful, pf.Accuracy(), pf.Drops)
+	}
 	if m.RefreshSkipRate > 0 {
 		fmt.Printf("refreshes skipped: %.1f%%\n", 100*m.RefreshSkipRate)
 	}

@@ -37,10 +37,12 @@ func main() {
 			fatal(err)
 		}
 		var memOps, stores, deps, mispred uint64
+		lines := make(map[uint64]struct{})
 		for i := 0; i < r.Len(); i++ {
 			op := r.Next()
 			if op.Mem {
 				memOps++
+				lines[op.VAddr/64] = struct{}{}
 				if op.Store {
 					stores++
 				}
@@ -58,6 +60,8 @@ func main() {
 		fmt.Printf("  stores:     %d (%.1f%% of mem)\n", stores, pct(stores, memOps))
 		fmt.Printf("  dependent:  %d (%.1f%% of mem)\n", deps, pct(deps, memOps))
 		fmt.Printf("  mispredict: %d (%.2f%%)\n", mispred, 100*float64(mispred)/float64(total))
+		fmt.Printf("  footprint:  %.2f MB (%d distinct 64B lines)\n",
+			float64(len(lines))*64/(1<<20), len(lines))
 		return
 	}
 

@@ -1,12 +1,13 @@
 // Package attrib implements end-to-end memory-latency attribution
 // (cycle accounting) for demand L2 misses: every miss carries a Tag
 // stamped with per-stage timestamps as it flows L2 miss → MSHR
-// alloc/wait → MC queue → DRAM array (ACT/CAS/precharge or
-// row-buffer-cache hit) → channel burst → fill, and a Collector
+// alloc/wait → stack-cache probe → MC queue → DRAM array (ACT/CAS/
+// precharge or row-buffer-cache hit) → channel burst → off-chip
+// backing round trip → fill, and a Collector
 // accumulates the per-stage cycle sums and histograms into the
 // telemetry registry under "attrib.*" names.
 //
-// The decomposition is conservative by construction: the five stage
+// The decomposition is conservative by construction: the stage
 // durations are consecutive differences over the timestamp chain, so
 // for every finished miss they sum exactly to the end-to-end miss
 // latency (pinned by internal/core's conservation test). That is what
@@ -31,9 +32,17 @@ import (
 type Stage int
 
 const (
-	// StageMSHR runs from L2 miss detection to MRQ acceptance: probe
-	// serialization, full-MSHR set-aside wait, and full-MRQ retries.
+	// StageMSHR runs from L2 miss detection to the stack-cache probe
+	// (or, with the stack in plain memory mode, straight to MRQ
+	// acceptance): probe serialization, full-MSHR set-aside wait, and
+	// full-MRQ retries.
 	StageMSHR Stage = iota
+	// StageStackHit runs from the stack-cache layer first seeing the
+	// request to its acceptance into a stacked MC's MRQ: the SRAM tag
+	// lookup latency plus any wait for a free MRQ slot. Zero in memory
+	// mode (the layer does not exist) and under tags-in-DRAM (the tag
+	// check rides the stacked access itself).
+	StageStackHit
 	// StageQueue runs from MRQ acceptance to the scheduler picking the
 	// request (FR-FCFS queueing plus controller-clock edge alignment).
 	StageQueue
@@ -46,15 +55,21 @@ const (
 	// penalties and detected-uncorrectable re-reads injected by
 	// internal/fault. Zero on every access in a fault-free run.
 	StageRetry
-	// StageBus runs from corrected array delivery to completion:
-	// waiting for the channel data bus plus the burst itself
-	// (shortened under critical-word-first delivery).
+	// StageBus runs from corrected array delivery to the stack-cache
+	// hit/miss resolution (or, when the request never goes off chip, to
+	// completion): waiting for the channel data bus plus the burst
+	// itself (shortened under critical-word-first delivery).
 	StageBus
+	// StageOffchip runs from the stack-cache miss resolution to
+	// completion: the entire backing-channel round trip — off-chip MRQ
+	// queueing, the slow 2D array access, the narrow bus burst, and the
+	// fill back into the stack. Zero on stack hits and in memory mode.
+	StageOffchip
 	// NumStages counts the stages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"mshr", "queue", "dram", "retry", "bus"}
+var stageNames = [NumStages]string{"mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip"}
 
 func (s Stage) String() string {
 	if s >= 0 && s < NumStages {
@@ -81,11 +96,13 @@ type Tag struct {
 
 	MissAt      sim.Cycle // L2 detected the demand miss
 	AllocAt     sim.Cycle // MSHR entry allocation completed
+	ProbeAt     sim.Cycle // stack-cache layer first saw the request (cache modes only)
 	QueueAt     sim.Cycle // accepted into the MC's MRQ
 	SchedAt     sim.Cycle // MC scheduler picked the request
 	FirstDataAt sim.Cycle // DRAM array's first delivery attempt
 	DataAt      sim.Cycle // corrected data delivered (== FirstDataAt fault-free)
 	BurstAt     sim.Cycle // burst started on the channel data bus
+	StackAt     sim.Cycle // stack-cache miss resolved; off-chip forwarding began
 	DoneAt      sim.Cycle // completion reached the L2 fill
 
 	// DRAM micro-phases: cycles within StageDRAM spent in each timing
@@ -110,6 +127,24 @@ func (t *Tag) MarkMerged() {
 		return
 	}
 	t.Merged = true
+}
+
+// Probe stamps the stack-cache layer first seeing the request. Retried
+// submissions re-stamp it, so the final value is the accepted attempt.
+func (t *Tag) Probe(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.ProbeAt = now
+}
+
+// StackResolve stamps the stack-cache miss decision: everything after
+// this until completion is the off-chip backing channel's latency.
+func (t *Tag) StackResolve(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.StackAt = now
 }
 
 // EnterQueue stamps acceptance into controller mc's MRQ.
@@ -170,28 +205,40 @@ func (t *Tag) DRAMPhases(writeRec, precharge, activate, cas sim.Cycle) {
 // Total reports the end-to-end miss latency.
 func (t *Tag) Total() sim.Cycle { return t.DoneAt - t.MissAt }
 
-// Stages decomposes the lifetime into the five consecutive intervals.
-// Unreached checkpoints (e.g. a miss whose line was filled by another
-// request while it waited for MSHR space and so never visited the MC)
-// collapse to the next stamped one, attributing the whole wait to the
-// stage the request was actually stuck in; the stage sum therefore
-// telescopes to exactly Total() for every finished tag.
+// Stages decomposes the lifetime into the seven consecutive intervals.
+// Unreached checkpoints collapse right-to-left to the next stamped one
+// (e.g. a miss whose line was filled by another request while it waited
+// for MSHR space never visited the MC; a stack-cache miss under
+// tags-in-SRAM skips the stacked MC entirely, so queue/dram/bus
+// collapse into the off-chip stage boundary), attributing the whole
+// wait to the stage the request was actually stuck in; the stage sum
+// therefore telescopes to exactly Total() for every finished tag.
 func (t *Tag) Stages() [NumStages]sim.Cycle {
-	q, s, d := t.QueueAt, t.SchedAt, t.DataAt
-	if q == 0 {
-		q = t.DoneAt
+	stack := t.StackAt
+	if stack == 0 {
+		stack = t.DoneAt
 	}
-	if s == 0 {
-		s = t.DoneAt
-	}
+	d := t.DataAt
 	if d == 0 {
-		d = t.DoneAt
+		d = stack
 	}
 	fd := t.FirstDataAt
 	if fd == 0 {
 		fd = d
 	}
-	return [NumStages]sim.Cycle{q - t.MissAt, s - q, fd - s, d - fd, t.DoneAt - d}
+	s := t.SchedAt
+	if s == 0 {
+		s = fd
+	}
+	q := t.QueueAt
+	if q == 0 {
+		q = s
+	}
+	p := t.ProbeAt
+	if p == 0 {
+		p = q
+	}
+	return [NumStages]sim.Cycle{p - t.MissAt, q - p, s - q, fd - s, d - fd, stack - d, t.DoneAt - stack}
 }
 
 // latencyBuckets sizes the end-to-end and per-stage histograms: miss
@@ -356,10 +403,12 @@ type GroupRow struct {
 	Label    string `json:"label"`
 	Requests uint64 `json:"requests"`
 	MSHR     uint64 `json:"mshr_cycles"`
+	StackHit uint64 `json:"stackhit_cycles"`
 	Queue    uint64 `json:"queue_cycles"`
 	DRAM     uint64 `json:"dram_cycles"`
 	Retry    uint64 `json:"retry_cycles"`
 	Bus      uint64 `json:"bus_cycles"`
+	Offchip  uint64 `json:"offchip_cycles"`
 }
 
 // DRAMPhases is the timing-phase split of the DRAM stage.
@@ -395,10 +444,12 @@ func groupRows(label string, reqs []*telemetry.Counter, cycles [][NumStages]*tel
 			Label:    fmt.Sprintf("%s%d", label, i),
 			Requests: rc.Value(),
 			MSHR:     cycles[i][StageMSHR].Value(),
+			StackHit: cycles[i][StageStackHit].Value(),
 			Queue:    cycles[i][StageQueue].Value(),
 			DRAM:     cycles[i][StageDRAM].Value(),
 			Retry:    cycles[i][StageRetry].Value(),
 			Bus:      cycles[i][StageBus].Value(),
+			Offchip:  cycles[i][StageOffchip].Value(),
 		})
 	}
 	return rows
@@ -475,9 +526,11 @@ func (b *Breakdown) Table() string {
 		if len(rows) == 0 {
 			return
 		}
-		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s %12s\n", name, "", "misses", "mshr", "queue", "dram", "retry", "bus")
+		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s %12s %12s %12s\n",
+			name, "", "misses", "mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip")
 		for _, r := range rows {
-			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d %12d\n", r.Label, r.Requests, r.MSHR, r.Queue, r.DRAM, r.Retry, r.Bus)
+			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d %12d %12d %12d\n",
+				r.Label, r.Requests, r.MSHR, r.StackHit, r.Queue, r.DRAM, r.Retry, r.Bus, r.Offchip)
 		}
 	}
 	section("core", b.PerCore)

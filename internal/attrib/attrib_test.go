@@ -25,7 +25,8 @@ func fullTag() *Tag {
 func TestStagesTelescopeToTotal(t *testing.T) {
 	tag := fullTag()
 	st := tag.Stages()
-	want := [NumStages]sim.Cycle{10, 20, 40, 0, 20} // 110-100, 130-110, 170-130, no retry, 190-170
+	// 110-100, no stack probe, 130-110, 170-130, no retry, 190-170, no offchip
+	want := [NumStages]sim.Cycle{10, 0, 20, 40, 0, 20, 0}
 	if st != want {
 		t.Fatalf("stages = %v, want %v", st, want)
 	}
@@ -44,16 +45,16 @@ func TestStagesTelescopeToTotal(t *testing.T) {
 func TestStagesCollapseUnsetCheckpoints(t *testing.T) {
 	tag := &Tag{MissAt: 50, DoneAt: 80}
 	st := tag.Stages()
-	if st != [NumStages]sim.Cycle{30, 0, 0, 0, 0} {
-		t.Fatalf("all-unset stages = %v, want [30 0 0 0 0]", st)
+	if st != [NumStages]sim.Cycle{30, 0, 0, 0, 0, 0, 0} {
+		t.Fatalf("all-unset stages = %v, want [30 0 0 0 0 0 0]", st)
 	}
 
 	// Queued but never scheduled (e.g. finished via a racing fill):
 	// the residue lands in StageQueue.
 	tag = &Tag{MissAt: 50, QueueAt: 60, DoneAt: 80}
 	st = tag.Stages()
-	if st != [NumStages]sim.Cycle{10, 20, 0, 0, 0} {
-		t.Fatalf("queue-only stages = %v, want [10 20 0 0 0]", st)
+	if st != [NumStages]sim.Cycle{10, 0, 20, 0, 0, 0, 0} {
+		t.Fatalf("queue-only stages = %v, want [10 0 20 0 0 0 0]", st)
 	}
 
 	var sum sim.Cycle
@@ -73,6 +74,8 @@ func TestNilTagAndCollectorAreNoOps(t *testing.T) {
 	}
 	// Every stamp on a nil tag must be a safe no-op.
 	tag.Alloc(1)
+	tag.Probe(1)
+	tag.StackResolve(1)
 	tag.MarkMerged()
 	tag.EnterQueue(2, 0)
 	tag.Sched(3, 1)
@@ -172,7 +175,7 @@ func TestFinishAccumulatesBreakdowns(t *testing.T) {
 	}
 
 	tbl := c.Breakdown().Table()
-	for _, want := range []string{"2 demand misses (1 merged)", "mshr", "queue", "dram", "retry", "bus", "mc1.rank1"} {
+	for _, want := range []string{"2 demand misses (1 merged)", "mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip", "mc1.rank1"} {
 		if !strings.Contains(tbl, want) {
 			t.Fatalf("table missing %q:\n%s", want, tbl)
 		}
@@ -191,7 +194,7 @@ func TestRetryStageTelescopes(t *testing.T) {
 	tag.BurstAt = 200 // burst follows corrected delivery at 195
 	tag.DoneAt = 215  // fill 25 cycles later than the clean run
 	st := tag.Stages()
-	want := [NumStages]sim.Cycle{10, 20, 40, 25, 20}
+	want := [NumStages]sim.Cycle{10, 0, 20, 40, 25, 20, 0}
 	if st != want {
 		t.Fatalf("stages = %v, want %v", st, want)
 	}
@@ -216,8 +219,62 @@ func TestRetryStageTelescopes(t *testing.T) {
 	}
 }
 
+// TestStackStagesTelescope pins the stack-cache stages across the
+// three request shapes the layer produces.
+func TestStackStagesTelescope(t *testing.T) {
+	sum := func(st [NumStages]sim.Cycle) sim.Cycle {
+		var s sim.Cycle
+		for _, v := range st {
+			s += v
+		}
+		return s
+	}
+
+	// Tags-in-SRAM hit: probe at 104, tag latency + MRQ wait until
+	// acceptance at 110, then the usual stacked access.
+	hit := fullTag()
+	hit.Probe(104)
+	st := hit.Stages()
+	want := [NumStages]sim.Cycle{4, 6, 20, 40, 0, 20, 0}
+	if st != want {
+		t.Fatalf("sram-hit stages = %v, want %v", st, want)
+	}
+	if sum(st) != hit.Total() {
+		t.Fatalf("sram-hit sum %d != total %d", sum(st), hit.Total())
+	}
+
+	// Tags-in-SRAM miss: the request never visits a stacked MC —
+	// queue/dram/bus collapse into the miss decision, and everything
+	// after it is the off-chip stage.
+	miss := &Tag{MissAt: 100, ProbeAt: 104, StackAt: 108, DoneAt: 300}
+	st = miss.Stages()
+	want = [NumStages]sim.Cycle{4, 4, 0, 0, 0, 0, 192}
+	if st != want {
+		t.Fatalf("sram-miss stages = %v, want %v", st, want)
+	}
+	if sum(st) != miss.Total() {
+		t.Fatalf("sram-miss sum %d != total %d", sum(st), miss.Total())
+	}
+
+	// Tags-in-DRAM miss: the compound tag+data access rides the stacked
+	// MC (full chain), the miss resolves at stacked delivery, and the
+	// backing round trip follows.
+	dmiss := fullTag()
+	dmiss.Probe(100)
+	dmiss.StackResolve(190)
+	dmiss.DoneAt = 400
+	st = dmiss.Stages()
+	want = [NumStages]sim.Cycle{0, 10, 20, 40, 0, 20, 210}
+	if st != want {
+		t.Fatalf("dram-tag-miss stages = %v, want %v", st, want)
+	}
+	if sum(st) != dmiss.Total() {
+		t.Fatalf("dram-tag-miss sum %d != total %d", sum(st), dmiss.Total())
+	}
+}
+
 func TestStageString(t *testing.T) {
-	want := []string{"mshr", "queue", "dram", "retry", "bus"}
+	want := []string{"mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip"}
 	for st := Stage(0); st < NumStages; st++ {
 		if st.String() != want[st] {
 			t.Fatalf("stage %d = %q, want %q", int(st), st.String(), want[st])

@@ -42,9 +42,10 @@ type L1Stats struct {
 }
 
 type l1Miss struct {
-	line    mem.Addr
-	waiters []func(now sim.Cycle)
-	dirty   bool // a store is merged: fill dirty
+	line     mem.Addr
+	waiters  []func(now sim.Cycle)
+	dirty    bool // a store is merged: fill dirty
+	prefetch bool // opened by the prefetcher, not a demand miss
 }
 
 // L1 is a private per-core data cache controller: a lockup-free cache
@@ -63,6 +64,11 @@ type L1 struct {
 	nextline  bool
 	retry     []*mem.Request // rejected by the level below
 	stats     L1Stats
+
+	// Prefetch effectiveness (observation only): lines a prefetch
+	// installed that demand has not yet touched.
+	pfPending map[mem.Addr]struct{}
+	pfStats   prefetch.Stats
 }
 
 // L1Params configures a controller.
@@ -95,6 +101,7 @@ func NewL1(p L1Params) *L1 {
 		below:     p.Below,
 		ids:       p.IDs,
 		nextline:  p.Prefetch,
+		pfPending: make(map[mem.Addr]struct{}),
 	}
 	if p.Prefetch {
 		l.stride = prefetch.NewStride(64)
@@ -124,6 +131,10 @@ func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done fu
 	}
 	ln := l.line(addr)
 	if l.arr.Lookup(ln) {
+		if _, ok := l.pfPending[ln]; ok {
+			l.pfStats.Useful++
+			delete(l.pfPending, ln)
+		}
 		if store {
 			l.arr.MarkDirty(ln)
 		}
@@ -168,9 +179,11 @@ func (l *L1) train(now sim.Cycle, pc uint64, addr mem.Addr) {
 		return
 	}
 	if next, ok := l.stride.Observe(pc, addr); ok {
+		l.pfStats.StrideCandidates++
 		l.maybePrefetch(now, pc, next)
 		return
 	}
+	l.pfStats.NextLineCandidates++
 	l.maybePrefetch(now, pc, prefetch.NextLine(addr, l.lineBytes))
 }
 
@@ -186,7 +199,8 @@ func (l *L1) maybePrefetch(now sim.Cycle, pc uint64, addr mem.Addr) {
 		return // never stall demand traffic for a prefetch
 	}
 	l.stats.Prefetches++
-	l.misses[ln] = &l1Miss{line: ln}
+	l.pfStats.Issued++
+	l.misses[ln] = &l1Miss{line: ln, prefetch: true}
 	r := &mem.Request{
 		ID:   l.ids.Next(),
 		Kind: mem.Prefetch,
@@ -220,6 +234,7 @@ func (l *L1) drop(r *mem.Request, now sim.Cycle) {
 	}
 	if len(m.waiters) == 0 && !m.dirty {
 		l.stats.PrefetchDrops++
+		l.pfStats.Drops++
 		delete(l.misses, r.Line)
 		return
 	}
@@ -246,6 +261,18 @@ func (l *L1) fill(ln mem.Addr, now sim.Cycle) {
 	}
 	delete(l.misses, ln)
 	victim, victimDirty, evicted := l.arr.Fill(ln, m.dirty)
+	if evicted {
+		delete(l.pfPending, victim)
+	}
+	// A prefetch-opened miss that demand merged into was useful on
+	// arrival; an untouched one waits for a demand hit or eviction.
+	if m.prefetch {
+		if len(m.waiters) > 0 || m.dirty {
+			l.pfStats.Useful++
+		} else {
+			l.pfPending[ln] = struct{}{}
+		}
+	}
 	if evicted && victimDirty {
 		l.stats.Writebacks++
 		wb := &mem.Request{
@@ -285,5 +312,21 @@ func (l *L1) Tick(now sim.Cycle) {
 	l.retry = kept
 }
 
-// ResetStats zeroes the counters (end of warmup).
-func (l *L1) ResetStats() { l.stats = L1Stats{} }
+// PrefetchStats reports the L1 prefetcher's issue/usefulness counters.
+func (l *L1) PrefetchStats() prefetch.Stats {
+	s := l.pfStats
+	if l.stride != nil {
+		s.StrideTrained = l.stride.Trained
+	}
+	return s
+}
+
+// ResetStats zeroes the counters (end of warmup). Lines prefetched
+// during warmup may still prove useful, so pfPending survives.
+func (l *L1) ResetStats() {
+	l.stats = L1Stats{}
+	l.pfStats = prefetch.Stats{}
+	if l.stride != nil {
+		l.stride.Trained = 0
+	}
+}

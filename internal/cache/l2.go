@@ -6,7 +6,6 @@ import (
 	"stackedsim/internal/attrib"
 	"stackedsim/internal/config"
 	"stackedsim/internal/mem"
-	"stackedsim/internal/memctrl"
 	"stackedsim/internal/mshr"
 	"stackedsim/internal/prefetch"
 	"stackedsim/internal/sim"
@@ -41,11 +40,14 @@ type l2bank struct {
 	busy sim.Cycle
 }
 
-// L2Params configures the shared L2 subsystem.
+// L2Params configures the shared L2 subsystem. MCs holds one
+// downstream port per memory controller: the controllers themselves in
+// the plain organization, or the stack-cache layer's per-MC fronts
+// when the stacked DRAM operates as a cache.
 type L2Params struct {
 	Cfg  *config.Config
 	AMap mem.AddrMap
-	MCs  []*memctrl.Controller
+	MCs  []Port
 	IDs  *mem.IDSource
 }
 
@@ -66,7 +68,7 @@ type L2 struct {
 	mshrBusy  []sim.Cycle
 	mshrLat   sim.Cycle
 
-	mcs      []*memctrl.Controller
+	mcs      []Port
 	unissued [][]unissuedEntry // per MC: allocated but not yet in the MRQ
 	wbQ      [][]*mem.Request
 	// mshrWait holds misses that found their MSHR bank full. They are
@@ -80,6 +82,13 @@ type L2 struct {
 	now      sim.Cycle
 	stats    L2Stats
 	missesBy []uint64 // demand misses per core (MPKI accounting)
+
+	// Prefetch effectiveness: lines brought in by an L2 prefetch and not
+	// yet touched by demand, keyed by global line address. Bounded by
+	// cache capacity (evictions delete their key). Pure observation —
+	// never consulted for a simulation decision.
+	pfPending map[mem.Addr]struct{}
+	pfStats   prefetch.Stats
 
 	// crossPenalty is the extra latency for L2-bank-to-MC routing when
 	// banking granularities are mismatched (line-interleaved L2 with
@@ -134,6 +143,7 @@ func NewL2(p L2Params) *L2 {
 	if !cfg.L2PageInterleave && cfg.MCs > 1 {
 		l.crossPenalty = 4
 	}
+	l.pfPending = make(map[mem.Addr]struct{})
 	for b := 0; b < cfg.L2Banks; b++ {
 		l.banks = append(l.banks, &l2bank{
 			arr: NewArray(fmt.Sprintf("L2b%d", b), sets, cfg.L2Ways, cfg.LineBytes),
@@ -189,6 +199,11 @@ func (l *L2) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	for m, f := range l.mshrBanks {
 		f.Instrument(reg, fmt.Sprintf("l2.mshr%d", m))
 	}
+	reg.GaugeFunc("prefetch.l2.issued", func() float64 { return float64(l.pfStats.Issued) })
+	reg.GaugeFunc("prefetch.l2.useful", func() float64 { return float64(l.pfStats.Useful) })
+	reg.GaugeFunc("prefetch.l2.stride_candidates", func() float64 { return float64(l.pfStats.StrideCandidates) })
+	reg.GaugeFunc("prefetch.l2.nextline_candidates", func() float64 { return float64(l.pfStats.NextLineCandidates) })
+	reg.GaugeFunc("prefetch.l2.accuracy", func() float64 { return l.PrefetchStats().Accuracy() })
 	l.trace = tr
 	if tr != nil {
 		l.coreTracks = make([]telemetry.Track, l.cfg.Cores)
@@ -289,6 +304,7 @@ func (l *L2) drainMSHRWaiters(now sim.Cycle) {
 			r := q[0]
 			if l.banks[l.bankFor(r.Line)].arr.Lookup(l.toLocal(r.Line)) {
 				l.stats.Hits++
+				l.notePrefetchUse(r.Line)
 				req := r
 				done := now + l.latency
 				// The miss resolved while set aside: another request
@@ -346,6 +362,7 @@ func (l *L2) tickBank(b *l2bank, now sim.Cycle) {
 			b.inq.Pop()
 			b.busy = now + 1
 			l.stats.Hits++
+			l.notePrefetchUse(r.Line)
 			req := r
 			done := now + l.latency
 			l.events.At(done, func() { req.Complete(done) })
@@ -499,6 +516,9 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 	bankIdx := l.bankFor(e.Line)
 	b := l.banks[bankIdx]
 	victim, victimDirty, evicted := b.arr.Fill(l.toLocal(e.Line), e.Dirty)
+	if evicted {
+		delete(l.pfPending, l.toGlobal(victim, bankIdx))
+	}
 	if evicted && victimDirty {
 		l.stats.WritebacksOut++
 		victimLine := l.toGlobal(victim, bankIdx)
@@ -511,6 +531,23 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 			Born: at,
 		}
 		l.queueWriteback(wb)
+	}
+	// Prefetch accounting: a prefetch-initiated fill that a demand miss
+	// merged into was useful immediately; otherwise remember the line
+	// until a demand hit (useful) or eviction (wasted) decides.
+	if p := e.Primary(); p != nil && p.Kind == mem.Prefetch && p.Core < 0 {
+		demandWaiter := false
+		for _, w := range e.Waiters {
+			if w != p && w.Kind.IsDemand() {
+				demandWaiter = true
+				break
+			}
+		}
+		if demandWaiter {
+			l.pfStats.Useful++
+		} else {
+			l.pfPending[e.Line] = struct{}{}
+		}
 	}
 	if read.Traced && read.Core >= 0 {
 		tr := l.coreTracks[read.Core]
@@ -534,6 +571,24 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 	l.mshrBanks[mshrIdx].Release(e)
 }
 
+// notePrefetchUse marks a demand touch on a line: if an L2 prefetch
+// brought it in and demand had not yet used it, the prefetch was useful.
+func (l *L2) notePrefetchUse(line mem.Addr) {
+	if _, ok := l.pfPending[line]; ok {
+		l.pfStats.Useful++
+		delete(l.pfPending, line)
+	}
+}
+
+// PrefetchStats reports the L2 prefetcher's issue/usefulness counters.
+func (l *L2) PrefetchStats() prefetch.Stats {
+	s := l.pfStats
+	if l.stride != nil {
+		s.StrideTrained = l.stride.Trained
+	}
+	return s
+}
+
 // queueWriteback routes a writeback to its MC, queueing on a full MRQ.
 func (l *L2) queueWriteback(wb *mem.Request) {
 	m := l.mcFor(wb.Line)
@@ -549,8 +604,11 @@ func (l *L2) trainPrefetch(now sim.Cycle, r *mem.Request) {
 		return
 	}
 	cand, ok := l.stride.Observe(r.PC, r.Addr)
-	if !ok {
+	if ok {
+		l.pfStats.StrideCandidates++
+	} else {
 		cand = prefetch.NextLine(r.Addr, l.lineBytes)
+		l.pfStats.NextLineCandidates++
 	}
 	line := cand &^ mem.Addr(l.lineBytes-1)
 	if l.banks[l.bankFor(line)].arr.Contains(l.toLocal(line)) {
@@ -562,6 +620,7 @@ func (l *L2) trainPrefetch(now sim.Cycle, r *mem.Request) {
 		return
 	}
 	l.stats.Prefetches++
+	l.pfStats.Issued++
 	pf := &mem.Request{
 		ID:   l.ids.Next(),
 		Kind: mem.Prefetch,
@@ -579,9 +638,14 @@ func (l *L2) trainPrefetch(now sim.Cycle, r *mem.Request) {
 }
 
 // ResetStats zeroes the L2 counters, including per-core miss accounting
-// and each bank array's statistics (end of warmup).
+// and each bank array's statistics (end of warmup). The pfPending set
+// survives: lines prefetched during warmup can still prove useful.
 func (l *L2) ResetStats() {
 	l.stats = L2Stats{}
+	l.pfStats = prefetch.Stats{}
+	if l.stride != nil {
+		l.stride.Trained = 0
+	}
 	for i := range l.missesBy {
 		l.missesBy[i] = 0
 	}

@@ -54,7 +54,11 @@ func newL2Rig(t *testing.T, mutate func(*config.Config)) *l2Rig {
 			Respond: func(r *mem.Request, now sim.Cycle) { r.Complete(now) },
 		}))
 	}
-	l2 := NewL2(L2Params{Cfg: cfg, AMap: amap, MCs: mcs, IDs: &mem.IDSource{}})
+	ports := make([]Port, len(mcs))
+	for i, mc := range mcs {
+		ports[i] = mc
+	}
+	l2 := NewL2(L2Params{Cfg: cfg, AMap: amap, MCs: ports, IDs: &mem.IDSource{}})
 	return &l2Rig{cfg: cfg, l2: l2, mcs: mcs, amap: amap}
 }
 

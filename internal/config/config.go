@@ -35,6 +35,48 @@ func (k MSHRKind) String() string {
 	return fmt.Sprintf("mshrkind(%d)", int(k))
 }
 
+// StackMode selects how the die-stacked DRAM is used (see
+// internal/stackcache). The zero value is the seed behaviour: the
+// stack is the whole of main memory.
+type StackMode int
+
+const (
+	// StackMemory direct-addresses the stack as all of main memory —
+	// today's behaviour, bit-identical to the pre-stackcache simulator.
+	StackMemory StackMode = iota
+	// StackCache treats the stack as a set-associative writeback
+	// last-level cache in front of a slow off-chip backing channel.
+	StackCache
+	// StackMemCache splits the stack: a hot region is direct-addressed
+	// memory, the remainder acts as cache for everything else.
+	StackMemCache
+)
+
+func (m StackMode) String() string {
+	switch m {
+	case StackMemory:
+		return "memory"
+	case StackCache:
+		return "cache"
+	case StackMemCache:
+		return "memcache"
+	}
+	return fmt.Sprintf("stackmode(%d)", int(m))
+}
+
+// ParseStackMode maps the -stack-mode flag spelling to a StackMode.
+func ParseStackMode(s string) (StackMode, error) {
+	switch s {
+	case "memory":
+		return StackMemory, nil
+	case "cache":
+		return StackCache, nil
+	case "memcache":
+		return StackMemCache, nil
+	}
+	return 0, fmt.Errorf("config: unknown stack mode %q (want memory, cache or memcache)", s)
+}
+
 // DRAMTiming carries the array timing parameters in nanoseconds. The
 // consuming DRAM model rounds them up to CPU cycles.
 type DRAMTiming struct {
@@ -141,6 +183,37 @@ type Config struct {
 	MeasureCycles int64
 	Seed          int64
 
+	// Die-stacked DRAM operating mode (internal/stackcache). With
+	// StackMemory every knob below is ignored and nothing extra is
+	// constructed; with StackCache/StackMemCache the stacked channels
+	// cache a larger off-chip memory reached through a backing channel.
+	StackMode StackMode
+	// StackCapMB is the stacked DRAM capacity when it acts as a cache.
+	StackCapMB int
+	// StackWays is the stack cache's set associativity.
+	StackWays int
+	// StackTagsInSRAM selects the tag-directory variant: true models an
+	// on-die SRAM directory probed in StackTagLatency cycles before any
+	// stacked access; false stores tags in the stacked DRAM itself, so
+	// the tag check rides a compound tag+data access.
+	StackTagsInSRAM bool
+	// StackTagLatency is the SRAM tag-probe latency in CPU cycles.
+	StackTagLatency int
+	// StackFillBytes is the allocation/fill granularity: LineBytes for
+	// line fills up to PageBytes for page fills (power of two).
+	StackFillBytes int
+	// StackHotFrac is the StackMemCache split: this fraction of the
+	// stack capacity is direct-addressed hot memory, the rest is cache.
+	StackHotFrac float64
+	// Backing channel: the slow off-chip memory behind the stack cache.
+	// Reuses the 2D DRAM model behind a narrow bus.
+	BackingTiming     DRAMTiming
+	BackingRanks      int
+	BackingBusBytes   int
+	BackingBusDivider int
+	BackingBusDDR     bool
+	BackingMRQ        int
+
 	// Faults, when non-nil, arms the deterministic fault-injection
 	// scenario for this run (see internal/fault). The scenario is
 	// read-only after construction and shared by Clone copies; nil
@@ -182,10 +255,64 @@ func (c *Config) Validate() error {
 	case c.L2Banks%c.MCs != 0:
 		return fmt.Errorf("config: L2Banks %d must be a multiple of MCs %d", c.L2Banks, c.MCs)
 	}
+	if err := c.validateStack(); err != nil {
+		return err
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil
+}
+
+// validateStack checks the stack-cache knobs. In StackMemory mode they
+// are all ignored, so any values (including zero) are accepted.
+func (c *Config) validateStack() error {
+	switch c.StackMode {
+	case StackMemory:
+		return nil
+	case StackCache, StackMemCache:
+	default:
+		return fmt.Errorf("config: StackMode = %d, want memory/cache/memcache", int(c.StackMode))
+	}
+	capBytes := int64(c.StackCapMB) << 20
+	switch {
+	case c.StackCapMB <= 0:
+		return fmt.Errorf("config: StackCapMB = %d in %s mode", c.StackCapMB, c.StackMode)
+	case capBytes > int64(c.MemoryGB)<<30:
+		return fmt.Errorf("config: stack capacity %d MB exceeds memory %d GB", c.StackCapMB, c.MemoryGB)
+	case c.StackWays <= 0:
+		return fmt.Errorf("config: StackWays = %d", c.StackWays)
+	case c.StackFillBytes < c.LineBytes || c.StackFillBytes > c.PageBytes ||
+		c.StackFillBytes&(c.StackFillBytes-1) != 0:
+		return fmt.Errorf("config: StackFillBytes = %d, need a power of two in [LineBytes=%d, PageBytes=%d]",
+			c.StackFillBytes, c.LineBytes, c.PageBytes)
+	case capBytes%int64(c.StackWays*c.StackFillBytes) != 0:
+		return fmt.Errorf("config: stack capacity %d MB not divisible into %d ways of %d-byte blocks",
+			c.StackCapMB, c.StackWays, c.StackFillBytes)
+	case c.StackTagsInSRAM && c.StackTagLatency < 1:
+		return fmt.Errorf("config: StackTagLatency = %d with tags in SRAM, need >= 1", c.StackTagLatency)
+	case c.StackHotFrac < 0 || c.StackHotFrac >= 1:
+		return fmt.Errorf("config: StackHotFrac = %g, need [0, 1)", c.StackHotFrac)
+	case c.StackMode == StackMemCache && c.StackHotFrac == 0:
+		return fmt.Errorf("config: memcache mode with StackHotFrac = 0 is plain cache mode; set a split or use cache")
+	case c.BackingRanks <= 0:
+		return fmt.Errorf("config: BackingRanks = %d", c.BackingRanks)
+	case c.BackingBusBytes <= 0 || c.BackingBusDivider <= 0:
+		return fmt.Errorf("config: bad backing bus %d bytes / div %d", c.BackingBusBytes, c.BackingBusDivider)
+	case c.BackingMRQ <= 0:
+		return fmt.Errorf("config: BackingMRQ = %d", c.BackingMRQ)
+	}
+	return nil
+}
+
+// StackHotBytes reports the direct-addressed split of the stack in
+// StackMemCache mode (page-aligned), zero otherwise.
+func (c *Config) StackHotBytes() int64 {
+	if c.StackMode != StackMemCache {
+		return 0
+	}
+	hot := int64(float64(int64(c.StackCapMB)<<20) * c.StackHotFrac)
+	return hot &^ int64(c.PageBytes-1)
 }
 
 // L2TotalMSHRs reports the total L2 MSHR entry count after the multiplier.
@@ -316,6 +443,34 @@ func DualMC() *Config { return Aggressive(2, 8, 4) }
 
 // QuadMC is the paper's "4 MCs, 16 ranks, 4 row buffers" configuration.
 func QuadMC() *Config { return Aggressive(4, 16, 4) }
+
+// WithStackCache derives a copy operating the stacked DRAM in the
+// given mode with the given capacity and sensible defaults for every
+// other stack knob: 16-way, page-granularity fills, a 2-cycle SRAM tag
+// directory, a 50/50 memcache split, and a commodity 2D backing
+// channel (4 ranks behind a 64-bit FSB-speed DDR bus, 32-entry MRQ).
+// Tweak fields on the result before building the system.
+func (c *Config) WithStackCache(mode StackMode, capMB int) *Config {
+	d := c.Clone()
+	d.StackMode = mode
+	d.StackCapMB = capMB
+	d.StackWays = 16
+	d.StackTagsInSRAM = true
+	d.StackTagLatency = 2
+	d.StackFillBytes = d.PageBytes
+	d.StackHotFrac = 0
+	if mode == StackMemCache {
+		d.StackHotFrac = 0.5
+	}
+	d.BackingTiming = Timing2D()
+	d.BackingRanks = 4
+	d.BackingBusBytes = 8
+	d.BackingBusDivider = 4
+	d.BackingBusDDR = true
+	d.BackingMRQ = 32
+	d.Name = fmt.Sprintf("%s-%s%dMB", c.Name, mode, capMB)
+	return d
+}
 
 // WithMSHR derives a copy with the given L2 MSHR capacity multiplier,
 // implementation kind, and dynamic-resizing flag.

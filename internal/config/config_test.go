@@ -158,3 +158,71 @@ func TestTable1Renders(t *testing.T) {
 		}
 	}
 }
+
+func TestStackModeParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		s string
+		m StackMode
+	}{{"memory", StackMemory}, {"cache", StackCache}, {"memcache", StackMemCache}} {
+		m, err := ParseStackMode(tc.s)
+		if err != nil || m != tc.m {
+			t.Fatalf("ParseStackMode(%q) = %v, %v", tc.s, m, err)
+		}
+		if m.String() != tc.s {
+			t.Fatalf("%v.String() = %q, want %q", m, m.String(), tc.s)
+		}
+	}
+	if _, err := ParseStackMode("hybrid"); err == nil {
+		t.Fatal("ParseStackMode must reject unknown modes")
+	}
+	if s := StackMode(9).String(); !strings.Contains(s, "9") {
+		t.Fatalf("out-of-range StackMode string = %q", s)
+	}
+}
+
+func TestWithStackCacheValidates(t *testing.T) {
+	for _, mode := range []StackMode{StackCache, StackMemCache} {
+		c := Fast3D().WithStackCache(mode, 64)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !strings.Contains(c.Name, mode.String()) {
+			t.Fatalf("derived name %q missing mode %q", c.Name, mode)
+		}
+	}
+	// Memory mode ignores every stack knob, even zeroed ones.
+	if err := Fast3D().Validate(); err != nil {
+		t.Fatalf("memory mode: %v", err)
+	}
+	if hot := Fast3D().WithStackCache(StackMemCache, 64).StackHotBytes(); hot != 32<<20 {
+		t.Fatalf("memcache 50%% of 64MB = %d bytes, want %d", hot, 32<<20)
+	}
+	if hot := Fast3D().WithStackCache(StackCache, 64).StackHotBytes(); hot != 0 {
+		t.Fatalf("cache-mode hot bytes = %d, want 0", hot)
+	}
+}
+
+func TestValidateCatchesBadStackConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.StackCapMB = 0 },
+		func(c *Config) { c.StackCapMB = 16 << 10 }, // > MemoryGB
+		func(c *Config) { c.StackWays = 0 },
+		func(c *Config) { c.StackFillBytes = 48 },              // not a power of two
+		func(c *Config) { c.StackFillBytes = 32 },              // < LineBytes
+		func(c *Config) { c.StackFillBytes = 2 * c.PageBytes }, // > PageBytes
+		func(c *Config) { c.StackTagLatency = 0 },              // SRAM tags need latency
+		func(c *Config) { c.StackHotFrac = 1.5 },
+		func(c *Config) { c.StackMode = StackMemCache; c.StackHotFrac = 0 },
+		func(c *Config) { c.BackingRanks = 0 },
+		func(c *Config) { c.BackingBusBytes = 0 },
+		func(c *Config) { c.BackingMRQ = 0 },
+		func(c *Config) { c.StackMode = StackMode(7) },
+	}
+	for i, mutate := range bad {
+		c := Fast3D().WithStackCache(StackCache, 64)
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad stack config #%d validated", i)
+		}
+	}
+}

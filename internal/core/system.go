@@ -20,7 +20,9 @@ import (
 	"stackedsim/internal/memctrl"
 	"stackedsim/internal/mshr"
 	"stackedsim/internal/power"
+	"stackedsim/internal/prefetch"
 	"stackedsim/internal/sim"
+	"stackedsim/internal/stackcache"
 	"stackedsim/internal/stats"
 	"stackedsim/internal/telemetry"
 	"stackedsim/internal/tlb"
@@ -42,6 +44,15 @@ type System struct {
 	TLBs  []*tlb.TLB
 	ITLBs []*tlb.TLB
 	AMap  mem.AddrMap
+
+	// Stack is the die-stacked cache/memcache layer interposed between
+	// the L2 and the stacked controllers, with its off-chip backing
+	// channel (Backing + BackingBus). All three are nil in
+	// StackMemory mode — disabled means absent, keeping that mode
+	// bit-identical to the seed simulator.
+	Stack      *stackcache.Layer
+	Backing    *memctrl.Controller
+	BackingBus *bus.Bus
 
 	Resizer *mshr.Resizer
 	// Faults is the compiled fault injector (nil when cfg.Faults is nil
@@ -106,8 +117,17 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	// Fault injection. An absent or fault-free scenario keeps Faults
 	// nil — the fully disabled state, bit-identical to a build that
 	// never heard of the fault package (TestDisabledInjectorParity).
+	stacked := cfg.StackMode != config.StackMemory
 	if cfg.Faults.Active() {
-		inj, err := fault.NewInjector(cfg.Faults, cfg.Seed, cfg.MCs, cfg.RanksPerMC())
+		var inj *fault.Injector
+		var err error
+		if stacked {
+			// One extra view (index cfg.MCs) for the off-chip backing
+			// controller, sized to its own rank count.
+			inj, err = fault.NewInjectorWithBacking(cfg.Faults, cfg.Seed, cfg.MCs, cfg.RanksPerMC(), cfg.BackingRanks)
+		} else {
+			inj, err = fault.NewInjector(cfg.Faults, cfg.Seed, cfg.MCs, cfg.RanksPerMC())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +135,14 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		s.Faults = inj
 	}
 
-	// DRAM + controllers.
+	// DRAM + controllers. In cache/memcache modes the stacked MCs
+	// deliver completions to the stack-cache layer (constructed below;
+	// no request can complete before construction finishes) instead of
+	// completing requests themselves.
+	respond := func(r *mem.Request, now sim.Cycle) { r.Complete(now) }
+	if stacked {
+		respond = func(r *mem.Request, now sim.Cycle) { s.Stack.RespondStacked(r, now) }
+	}
 	timing := dram.TimingInCycles(cfg.Timing, cfg.CPUMHz)
 	for m := 0; m < cfg.MCs; m++ {
 		ranks := make([]*dram.Rank, cfg.RanksPerMC())
@@ -148,14 +175,82 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 			LineBytes:         cfg.LineBytes,
 			CriticalWordFirst: cfg.CriticalWordFirst,
 			WordBytes:         8,
-			Respond:           func(r *mem.Request, now sim.Cycle) { r.Complete(now) },
+			Respond:           respond,
 		}))
 		s.MCs[m].SetFaults(view)
 	}
 
-	// Shared L2 + MHA.
+	// Shared L2 + MHA. In cache/memcache modes the stack-cache layer
+	// and its off-chip backing channel interpose between the two: the
+	// L2 submits to the layer's fronts, which route hits over the
+	// stacked MCs above and misses over the narrow backing channel.
 	ids := &mem.IDSource{}
-	s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: s.MCs, IDs: ids})
+	ports := make([]cache.Port, len(s.MCs))
+	for i, mc := range s.MCs {
+		ports[i] = mc
+	}
+	if stacked {
+		btiming := dram.TimingInCycles(cfg.BackingTiming, cfg.CPUMHz)
+		bview := s.Faults.MC(cfg.MCs)
+		branks := make([]*dram.Rank, cfg.BackingRanks)
+		for r := range branks {
+			// Commodity off-chip DIMMs: single row buffer per bank,
+			// 64 ms refresh, no smart-refresh.
+			branks[r] = dram.NewRank(btiming, cfg.BanksPerRank, 1, 64, cfg.CPUMHz)
+			for _, bank := range branks[r].Banks {
+				bank.SetFaults(bview)
+			}
+		}
+		s.BackingBus = bus.New(cfg.BackingBusBytes, cfg.BackingBusDivider, cfg.BackingBusDDR)
+		s.BackingBus.SetFaults(bview)
+		// The backing channel transfers whole blocks at the fill
+		// granularity, so its address map's "line" is the stack block.
+		bamap := mem.AddrMap{
+			LineBytes:  cfg.StackFillBytes,
+			PageBytes:  cfg.PageBytes,
+			MCs:        1,
+			RanksPerMC: cfg.BackingRanks,
+			Banks:      cfg.BanksPerRank,
+		}
+		if err := bamap.Validate(); err != nil {
+			return nil, fmt.Errorf("core: backing channel address map: %w", err)
+		}
+		s.Backing = memctrl.New(memctrl.Params{
+			ID:        cfg.MCs,
+			AMap:      bamap,
+			Ranks:     branks,
+			QueueCap:  cfg.BackingMRQ,
+			DataBus:   s.BackingBus,
+			Divider:   sim.NewDivider(cfg.BackingBusDivider),
+			FRFCFS:    cfg.SchedFRFCFS,
+			LineBytes: cfg.StackFillBytes,
+			WordBytes: 8,
+			Respond:   func(r *mem.Request, now sim.Cycle) { s.Stack.RespondBacking(r, now) },
+		})
+		s.Backing.SetFaults(bview)
+		// The memcache hot region holds the first-touched pages: the
+		// frames the allocator handed out while the region still had
+		// room, modelling OS placement of hot pages in stacked memory.
+		var hot func(mem.Addr) bool
+		if cfg.StackMode == config.StackMemCache {
+			hotFrames := uint64(cfg.StackHotBytes() / int64(cfg.PageBytes))
+			pages := s.Pages
+			hot = func(a mem.Addr) bool {
+				n, ok := pages.FrameOrder(a)
+				return ok && n < hotFrames
+			}
+		}
+		s.Stack = stackcache.New(stackcache.Params{
+			Cfg:     cfg,
+			AMap:    s.AMap,
+			Stacked: s.MCs,
+			Backing: s.Backing,
+			IDs:     ids,
+			Hot:     hot,
+		})
+		ports = s.Stack.Fronts()
+	}
+	s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: ports, IDs: ids})
 	for _, f := range s.L2.MSHRBanks() {
 		f.SetFaults(s.Faults.MSHR())
 	}
@@ -229,8 +324,14 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		s.Engine.Register(il1)
 	}
 	s.Engine.Register(s.L2)
+	if s.Stack != nil {
+		s.Engine.Register(s.Stack)
+	}
 	for _, mc := range s.MCs {
 		mc.Attach(s.Engine)
+	}
+	if s.Backing != nil {
+		s.Backing.Attach(s.Engine)
 	}
 	if s.Resizer != nil {
 		s.Engine.Register(sim.TickFunc(s.Resizer.Tick))
@@ -262,6 +363,14 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 	for i, mc := range s.MCs {
 		for r, rank := range mc.Ranks() {
 			rank.Instrument(reg, fmt.Sprintf("dram.mc%d.rank%d", i, r))
+		}
+	}
+	if s.Stack != nil {
+		s.Stack.Instrument(reg)
+		s.Backing.Instrument(reg, tr)
+		s.BackingBus.Instrument(reg, "bus.backing")
+		for r, rank := range s.Backing.Ranks() {
+			rank.Instrument(reg, fmt.Sprintf("dram.backing.rank%d", r))
 		}
 	}
 	s.Faults.Instrument(reg)
@@ -311,6 +420,16 @@ func (s *System) ResetStats() {
 	for _, b := range s.Buses {
 		b.ResetStats()
 	}
+	if s.Stack != nil {
+		s.Stack.ResetStats()
+		s.Backing.ResetStats()
+		for _, rank := range s.Backing.Ranks() {
+			for _, bank := range rank.Banks {
+				bank.ResetStats()
+			}
+		}
+		s.BackingBus.ResetStats()
+	}
 }
 
 // Metrics summarizes one measured run.
@@ -343,6 +462,19 @@ type Metrics struct {
 	// Faults counts injected fault events and their cost (all zero when
 	// the run had no fault scenario).
 	Faults fault.Stats
+
+	// Stack summarizes the die-stacked layer when it runs as a cache or
+	// memcache (all zero in plain memory mode), and BackingReads/Writes
+	// count the accesses the off-chip backing channel served.
+	Stack         stackcache.Stats
+	StackHitRate  float64
+	BackingReads  uint64
+	BackingWrites uint64
+
+	// PrefetchL1 aggregates the prefetcher issue/usefulness counters of
+	// every DL1 and IL1; PrefetchL2 is the shared L2's.
+	PrefetchL1 prefetch.Stats
+	PrefetchL2 prefetch.Stats
 }
 
 // Run executes warmup then the measured window and returns the metrics.
@@ -444,6 +576,18 @@ func (s *System) Collect() Metrics {
 		m.ProbesPerAccess = float64(probes) / float64(accesses)
 	}
 	m.Faults = s.Faults.Stats()
+	if s.Stack != nil {
+		m.Stack = *s.Stack.Stats()
+		m.StackHitRate = m.Stack.HitRate()
+		bst := s.Backing.Stats()
+		m.BackingReads = bst.Reads
+		m.BackingWrites = bst.Writes
+	}
+	for i := range s.L1s {
+		m.PrefetchL1.Add(s.L1s[i].PrefetchStats())
+		m.PrefetchL1.Add(s.IL1s[i].PrefetchStats())
+	}
+	m.PrefetchL2 = s.L2.PrefetchStats()
 	return m
 }
 
@@ -479,6 +623,21 @@ func (s *System) Digest() uint64 {
 		bst := s.Buses[i].Stats()
 		word(bst.Bytes, bst.BusyCycles)
 		for _, rank := range mc.Ranks() {
+			for _, bank := range rank.Banks {
+				bs := bank.Stats()
+				word(bs.Accesses, bs.Activates, bs.Refreshes)
+			}
+		}
+	}
+	if s.Stack != nil {
+		st := s.Stack.Stats()
+		word(st.Probes, st.Hits, st.Misses, st.MissMerges, st.DirectReads, st.DirectWrites,
+			st.Fills, st.WritebacksIn, st.WritebacksOut, st.BackingReads, st.BackingWrites)
+		bst := s.Backing.Stats()
+		word(bst.Reads, bst.Writes, bst.RowHits)
+		bbst := s.BackingBus.Stats()
+		word(bbst.Bytes, bbst.BusyCycles)
+		for _, rank := range s.Backing.Ranks() {
 			for _, bank := range rank.Banks {
 				bs := bank.Stats()
 				word(bs.Accesses, bs.Activates, bs.Refreshes)

@@ -70,6 +70,28 @@ const seedMix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
 // callers that want full disablement pass no scenario and keep a nil
 // *Injector instead.
 func NewInjector(scenario *Scenario, runSeed int64, mcs, ranksPerMC int) (*Injector, error) {
+	ranks := make([]int, mcs)
+	for i := range ranks {
+		ranks[i] = ranksPerMC
+	}
+	return newInjector(scenario, runSeed, ranks)
+}
+
+// NewInjectorWithBacking is NewInjector for a machine whose mcs stacked
+// controllers are backed by one off-chip controller (view index mcs)
+// with backingRanks ranks, so scenarios can also target the backing
+// channel of a stack-cache configuration.
+func NewInjectorWithBacking(scenario *Scenario, runSeed int64, mcs, ranksPerMC, backingRanks int) (*Injector, error) {
+	ranks := make([]int, mcs, mcs+1)
+	for i := range ranks {
+		ranks[i] = ranksPerMC
+	}
+	return newInjector(scenario, runSeed, append(ranks, backingRanks))
+}
+
+// newInjector compiles scenario for a machine with one controller per
+// entry of ranksByMC (each entry that controller's rank count).
+func newInjector(scenario *Scenario, runSeed int64, ranksByMC []int) (*Injector, error) {
 	if err := scenario.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,20 +101,33 @@ func NewInjector(scenario *Scenario, runSeed int64, mcs, ranksPerMC int) (*Injec
 	}
 	in := &Injector{scenario: scenario, rng: rand.New(rand.NewSource(seed))}
 	in.mshr = &MSHRView{in: in}
-	for m := 0; m < mcs; m++ {
-		in.mcs = append(in.mcs, &MCView{in: in, mc: m, nRanks: ranksPerMC, rankStuck: make([][]window, ranksPerMC), rankDead: make([][]deadSpec, ranksPerMC)})
+	for m, nr := range ranksByMC {
+		in.mcs = append(in.mcs, &MCView{in: in, mc: m, nRanks: nr, rankStuck: make([][]window, nr), rankDead: make([][]deadSpec, nr)})
 	}
 	if scenario == nil {
 		return in, nil
 	}
 	for i, f := range scenario.Faults {
-		if f.MC >= mcs {
-			return nil, fmt.Errorf("fault scenario %q, fault #%d (%s): mc %d out of range (machine has %d)", scenario.Name, i, f.Kind, f.MC, mcs)
+		if f.MC >= len(ranksByMC) {
+			return nil, fmt.Errorf("fault scenario %q, fault #%d (%s): mc %d out of range (machine has %d)", scenario.Name, i, f.Kind, f.MC, len(ranksByMC))
 		}
 		switch f.Kind {
 		case KindRankStuck, KindRankDead:
-			if f.Rank >= ranksPerMC {
-				return nil, fmt.Errorf("fault scenario %q, fault #%d (%s): rank %d out of range (%d per MC)", scenario.Name, i, f.Kind, f.Rank, ranksPerMC)
+			// A targeted fault must name a rank the controller has; a
+			// broadcast fault (MC < 0) must fit at least one controller
+			// and is skipped on any with fewer ranks.
+			maxRanks := 0
+			if f.MC >= 0 {
+				maxRanks = ranksByMC[f.MC]
+			} else {
+				for _, nr := range ranksByMC {
+					if nr > maxRanks {
+						maxRanks = nr
+					}
+				}
+			}
+			if f.Rank >= maxRanks {
+				return nil, fmt.Errorf("fault scenario %q, fault #%d (%s): rank %d out of range (%d per MC)", scenario.Name, i, f.Kind, f.Rank, maxRanks)
 			}
 		case KindMSHRParity:
 			in.mshr.specs = append(in.mshr.specs, probSpec{win: window{f.From, f.Until}, prob: f.Prob})
@@ -100,6 +135,9 @@ func NewInjector(scenario *Scenario, runSeed int64, mcs, ranksPerMC int) (*Injec
 		}
 		for _, v := range in.mcs {
 			if f.MC >= 0 && f.MC != v.mc {
+				continue
+			}
+			if (f.Kind == KindRankStuck || f.Kind == KindRankDead) && f.Rank >= v.nRanks {
 				continue
 			}
 			v.add(f)

@@ -20,6 +20,8 @@ type PageTable struct {
 	allocated Addr
 	used      []uint64 // frame bitmap
 	table     map[VAddr]Addr
+	order     map[Addr]uint64 // frame -> allocation sequence number
+	seq       uint64
 }
 
 // NewPageTable returns a table managing totalBytes of physical memory in
@@ -37,6 +39,7 @@ func NewPageTable(totalBytes, pageBytes uint64) *PageTable {
 		frames:    Addr(frames),
 		used:      make([]uint64, (frames+63)/64),
 		table:     make(map[VAddr]Addr),
+		order:     make(map[Addr]uint64),
 	}
 }
 
@@ -75,8 +78,21 @@ func (pt *PageTable) allocFrame() Addr {
 		cand = (cand + 1) % pt.frames
 	}
 	pt.used[cand/64] |= 1 << (cand % 64)
+	pt.order[cand] = pt.seq
+	pt.seq++
 	pt.allocated++
 	return cand
+}
+
+// FrameOrder reports the allocation sequence number (0 = first frame
+// ever handed out) of the frame holding physical address a, or false
+// if the frame was never allocated. A reused frame (after wrap)
+// carries the sequence number of its latest allocation. The stack-
+// cache memcache mode uses this to model OS page placement: the
+// earliest-touched pages live in the stacked hot region.
+func (pt *PageTable) FrameOrder(a Addr) (uint64, bool) {
+	n, ok := pt.order[a/pt.pageBytes]
+	return n, ok
 }
 
 // mix64 is the SplitMix64 finalizer: a fast, well-distributed bijection.

@@ -9,6 +9,40 @@ import (
 	"stackedsim/internal/mem"
 )
 
+// Stats aggregates one cache level's prefetcher activity: how many
+// candidates each predictor produced, how many prefetches were actually
+// injected, and how many of the fetched lines demand traffic touched
+// before eviction. The owning cache maintains the counts; the type
+// lives here so every level reports prefetching in the same shape.
+type Stats struct {
+	StrideCandidates   uint64 // confident stride predictions consulted
+	NextLineCandidates uint64 // next-line fallbacks consulted
+	StrideTrained      uint64 // predictor-side confident predictions (Stride.Trained)
+	Issued             uint64 // prefetch requests injected into the miss path
+	Useful             uint64 // prefetched lines later referenced by demand
+	Drops              uint64 // prefetches abandoned (full MSHR, unwound)
+}
+
+// Add accumulates o into s (aggregating per-core caches into one
+// machine-wide summary).
+func (s *Stats) Add(o Stats) {
+	s.StrideCandidates += o.StrideCandidates
+	s.NextLineCandidates += o.NextLineCandidates
+	s.StrideTrained += o.StrideTrained
+	s.Issued += o.Issued
+	s.Useful += o.Useful
+	s.Drops += o.Drops
+}
+
+// Accuracy reports the fraction of issued prefetches that demand
+// traffic used before eviction (0 when none were issued).
+func (s Stats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Issued)
+}
+
 // NextLine returns the line-aligned address immediately following the
 // line containing addr.
 func NextLine(addr mem.Addr, lineBytes int) mem.Addr {

@@ -12,6 +12,8 @@
 // the paper land in the same hit/miss regime as the originals.
 package workload
 
+import "fmt"
+
 // Pattern classifies a generator's address behaviour.
 type Pattern int
 
@@ -96,6 +98,71 @@ const (
 	mb = 1024 * 1024
 )
 
+// Validate reports the first problem that would make NewGenerator
+// panic or emit a degenerate stream: a footprint too small to hold a
+// cache line, a fraction outside its range, a stream pattern with no
+// step, or an unknown pattern.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.Footprint < 64:
+		return fmt.Errorf("workload %s: footprint %d below one cache line", s.Name, s.Footprint)
+	case s.MemFrac <= 0 || s.MemFrac > 1:
+		return fmt.Errorf("workload %s: MemFrac %v outside (0, 1]", s.Name, s.MemFrac)
+	case s.StoreFrac < 0 || s.StoreFrac > 1:
+		return fmt.Errorf("workload %s: StoreFrac %v outside [0, 1]", s.Name, s.StoreFrac)
+	case s.RandFrac < 0 || s.RandFrac > 1:
+		return fmt.Errorf("workload %s: RandFrac %v outside [0, 1]", s.Name, s.RandFrac)
+	case s.Mispred < 0 || s.Mispred >= 1:
+		return fmt.Errorf("workload %s: Mispred %v outside [0, 1)", s.Name, s.Mispred)
+	case s.ColdFrac < 0 || s.ColdFrac > 1:
+		return fmt.Errorf("workload %s: ColdFrac %v outside [0, 1]", s.Name, s.ColdFrac)
+	case s.Streams < 0:
+		return fmt.Errorf("workload %s: %d streams", s.Name, s.Streams)
+	}
+	switch s.Pattern {
+	case Streaming, Strided:
+		if s.Stride == 0 || s.ElemBytes == 0 {
+			return fmt.Errorf("workload %s: %s pattern needs Stride and ElemBytes > 0 (got %d/%d)",
+				s.Name, s.Pattern, s.Stride, s.ElemBytes)
+		}
+		streams := s.Streams
+		if streams < 1 {
+			streams = 1
+		}
+		if s.Footprint/uint64(streams) < s.ElemBytes {
+			return fmt.Errorf("workload %s: %d streams leave less than one %d-byte element each",
+				s.Name, streams, s.ElemBytes)
+		}
+	case RandomAccess, PointerChase, Mixed:
+	default:
+		return fmt.Errorf("workload %s: unknown pattern %d", s.Name, int(s.Pattern))
+	}
+	return nil
+}
+
+// CapacitySpec returns a capacity-stress workload with a working set
+// of exactly sizeMB: sequential runs punctuated by uniform random
+// jumps over the footprint and no hot ring, so reuse exists (page
+// fills amortize) but only a cache at least as large as the footprint
+// captures it. The stackcap experiment sweeps it against stack
+// capacities to show the memory/cache/memcache crossover. ByName
+// resolves "cap<N>m".
+func CapacitySpec(sizeMB int) Spec {
+	return Spec{
+		Name:      fmt.Sprintf("cap%dm", sizeMB),
+		Suite:     "synthetic",
+		Pattern:   Mixed,
+		RandFrac:  0.7,
+		Footprint: uint64(sizeMB) * mb,
+		MemFrac:   0.40,
+		StoreFrac: 0.20,
+		Mispred:   0.002,
+		ColdFrac:  1,
+	}
+}
+
 // Specs is the Table 2a benchmark list. PaperMPKI values are copied from
 // the paper; the generator parameters are this reproduction's
 // calibration.
@@ -130,10 +197,17 @@ var Specs = []Spec{
 	{Name: "namd", Suite: "F'06", PaperMPKI: 1.0, Pattern: Strided, Footprint: 16 * mb, Streams: 2, ElemBytes: 64, Stride: 128, MemFrac: 0.28, StoreFrac: 0.15, Mispred: 0.002, ColdFrac: 0.009},
 }
 
-// ByName returns the spec for a benchmark name.
+// ByName returns the spec for a benchmark name. Besides the Table 2a
+// list it resolves "cap<N>m" to CapacitySpec(N), e.g. "cap16m".
 func ByName(name string) (Spec, bool) {
 	for _, s := range Specs {
 		if s.Name == name {
+			return s, true
+		}
+	}
+	var sizeMB int
+	if n, err := fmt.Sscanf(name, "cap%dm", &sizeMB); err == nil && n == 1 && sizeMB > 0 {
+		if s := CapacitySpec(sizeMB); s.Name == name {
 			return s, true
 		}
 	}

@@ -20,6 +20,11 @@
 #      the enabled overhead. A fault-free run never constructs the
 #      injector — every component holds a nil view — so the off wall
 #      doubles as the baseline; only the enabled cost is measured.
+#   5. The same run in each stack mode, emitting BENCH_stackcache.json.
+#      Memory mode never constructs the stackcache layer (pinned
+#      bit-identical to the seed by TestStackMemoryParity), so its wall
+#      vs the plain run is the PR gate (~0, <=2%); the cache/memcache
+#      walls price the extra machinery (tag probes, backing channel).
 #
 # Usage: scripts/bench.sh [outdir]   (default outdir: results)
 #
@@ -168,3 +173,31 @@ cat > "$outdir/BENCH_fault.json" <<EOF
 EOF
 echo "== $outdir/BENCH_fault.json"
 cat "$outdir/BENCH_fault.json"
+
+# Stack-mode walls: the off run above IS the implicit memory-mode run,
+# but the explicit -stack-mode memory spelling is re-measured so the
+# gate covers the flag path too.
+stack_tmp=$(mktemp -d)
+echo "== stack memory mode (best of 3): $attrib_args -stack-mode memory"
+memory_wall=$(best_wall "$stack_tmp/memory" -attrib=false -stack-mode memory)
+echo "== stack cache mode (best of 3): $attrib_args -stack-mode cache -stack-cap-mb 64"
+cache_wall=$(best_wall "$stack_tmp/cache" -attrib=false -stack-mode cache -stack-cap-mb 64)
+echo "== stack memcache mode (best of 3): $attrib_args -stack-mode memcache -stack-cap-mb 64"
+memcache_wall=$(best_wall "$stack_tmp/memcache" -attrib=false -stack-mode memcache -stack-cap-mb 64)
+
+memory_overhead=$(awk -v on="$memory_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
+
+cat > "$outdir/BENCH_stackcache.json" <<EOF
+{
+  "run": "quadMC VH1 @ warmup=50000 measure=600000, best wall of 3",
+  "baseline_wall_seconds": $off_wall,
+  "memory_wall_seconds": $memory_wall,
+  "memory_mode_overhead": $memory_overhead,
+  "memory_budget": 0.02,
+  "cache_wall_seconds": $cache_wall,
+  "memcache_wall_seconds": $memcache_wall
+}
+EOF
+echo "== $outdir/BENCH_stackcache.json"
+cat "$outdir/BENCH_stackcache.json"

@@ -14,7 +14,8 @@
 # isolation, checkpoint/resume) under the race detector, where a data
 # race between a cancelled worker and the collector would surface.
 # internal/fault rides along because its views are shared with every
-# memory component a run touches.
+# memory component a run touches, and internal/stackcache because its
+# layer sits on the hot path between the L2 and every controller.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,8 +28,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
