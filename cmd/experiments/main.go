@@ -30,7 +30,6 @@ import (
 	"stackedsim/internal/core"
 	"stackedsim/internal/floorplan"
 	"stackedsim/internal/monitor"
-	"stackedsim/internal/thermal"
 )
 
 // perfReport is the -perf-json payload; scripts/bench.sh consumes it.
@@ -166,6 +165,7 @@ func run() int {
 		{"banking", "%.3f", r.MSHRBankingFigure},
 		{"stability", "%.4f", r.StabilityFigure},
 		{"stackcap", "%.3f", r.StackCapacityFigure},
+		{"thermal", "%.2f", r.ThermalFigure},
 		{"ablations", "%.3f", r.Ablations},
 	}
 
@@ -220,11 +220,6 @@ func run() int {
 	}
 	if want("tsv") {
 		fmt.Println(floorplan.Report())
-		ran++
-	}
-	if want("thermal") {
-		fmt.Println("Thermal check (Section 2.4): 8 DRAM layers + logic over a quad-core")
-		fmt.Println(thermal.NewCPUDRAMStack(8, 80, 1.5, true).Report())
 		ran++
 	}
 	if ran == 0 {

@@ -17,9 +17,11 @@
 // which describe a single run.
 //
 // With -telemetry-dir the run writes manifest.json, timeseries.csv,
-// timeseries.jsonl, distributions.json, attrib.json and (with
-// -trace-events) trace.json into the directory, and prints the
-// memory-latency attribution table (disable with -attrib=false).
+// timeseries.jsonl, distributions.json, attrib.json, powerthermal.json
+// and (with -trace-events) trace.json into the directory, and prints
+// the memory-latency attribution table (disable with -attrib=false)
+// plus the power/thermal report with the per-bank activity heatmap and
+// per-layer temperature trajectory (disable with -power=false).
 // -monitor-addr serves /metrics, /snapshot, /healthz and pprof live
 // during the run; see docs/OBSERVABILITY.md.
 package main
@@ -106,6 +108,7 @@ func main() {
 		traceEvents  = flag.Bool("trace-events", false, "emit Chrome trace_event JSON for sampled request lifecycles")
 		traceSample  = flag.Int("trace-sample", 64, "trace 1 in N demand-miss lifecycles")
 		attribOn     = flag.Bool("attrib", true, "memory-latency attribution (cycle accounting) when telemetry is enabled")
+		powerOn      = flag.Bool("power", true, "power/thermal tracking (per-layer power, transient temperatures) when telemetry is enabled")
 		monitorAddr  = flag.String("monitor-addr", "", "serve /metrics, /snapshot, /healthz and pprof on this address during the run")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -277,6 +280,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Power/thermal tracking rides the telemetry registry. Attached
+	// before the sampler so each closed window's power.*/thermal.*
+	// gauges are already published when the time-series samples them.
+	var pt *core.PowerThermal
+	if tel != nil && *powerOn {
+		pt = sys.AttachPowerThermal(tel.Reg(), *sampleEvery)
+	}
 	sys.AttachTelemetry(tel)
 
 	// Cycle accounting rides on the telemetry registry; its nil-safe
@@ -296,6 +306,13 @@ func main() {
 		mon = &monitor.Server{Registry: tel.Reg()}
 		if col != nil {
 			mon.AttribFn = col.Breakdown
+		}
+		if pt != nil {
+			// Collect runs on the simulation goroutine, so reading the
+			// tracker here is race-free.
+			mon.PowerThermalFn = func() *monitor.PowerThermal {
+				return powerThermalWire(pt.Summary())
+			}
 		}
 		if err := mon.Start(*monitorAddr); err != nil {
 			fatal(err)
@@ -348,6 +365,9 @@ func main() {
 	if col != nil {
 		fmt.Print(col.Breakdown().Table())
 	}
+	if pt != nil {
+		fmt.Print(pt.Report())
+	}
 
 	if tel != nil {
 		// Export everything alongside the manifest (the sampler closes
@@ -367,6 +387,11 @@ func main() {
 		}
 		if col != nil {
 			if err := writeAttribJSON(filepath.Join(*telemetryDir, "attrib.json"), col.Breakdown()); err != nil {
+				fatal(err)
+			}
+		}
+		if pt != nil {
+			if err := writeJSON(filepath.Join(*telemetryDir, "powerthermal.json"), pt.Summary()); err != nil {
 				fatal(err)
 			}
 		}
@@ -421,7 +446,7 @@ func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
 		os.Exit(2)
 	}
 	if telemetryDir == "" {
-		for _, name := range []string{"sample-every", "trace-events", "trace-sample", "attrib"} {
+		for _, name := range []string{"sample-every", "trace-events", "trace-sample", "attrib", "power"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "stacksim: -%s does nothing without -telemetry-dir; add -telemetry-dir <dir>\n", name)
 				os.Exit(2)
@@ -482,11 +507,40 @@ func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
 // writeAttribJSON exports the attribution breakdown next to the other
 // telemetry artifacts.
 func writeAttribJSON(path string, b *attrib.Breakdown) error {
-	data, err := json.MarshalIndent(b, "", "  ")
+	return writeJSON(path, b)
+}
+
+// writeJSON exports one telemetry artifact as indented JSON.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// powerThermalWire adapts the tracker summary into monitor's wire
+// shape (monitor stays free of the machine's packages).
+func powerThermalWire(s core.PowerThermalSummary) *monitor.PowerThermal {
+	out := &monitor.PowerThermal{
+		CPUPowerW:        s.CPUPowerW,
+		DRAMPowerW:       s.DRAMPowerW,
+		OffChipPowerW:    s.OffChipPowerW,
+		TotalPowerW:      s.TotalPowerW,
+		MaxDRAMTempC:     s.MaxDRAMTempC,
+		LimitC:           s.LimitC,
+		WithinLimit:      s.WithinLimit,
+		LimitExceedances: s.LimitExceedances,
+		OverLimitCycles:  s.OverLimitCycles,
+		OffChipTempC:     s.OffChipTempC,
+	}
+	for _, l := range s.Layers {
+		out.Layers = append(out.Layers, monitor.PowerThermalLayer{
+			Name: l.Name, PowerW: l.PowerW, TempC: l.TempC,
+			PeakC: l.PeakC, OverLimitCycles: l.OverLimitCycles,
+		})
+	}
+	return out
 }
 
 // runSweep fans a comma-separated mix list over the Runner's worker
@@ -561,6 +615,9 @@ func report(cfg *config.Config, m core.Metrics) {
 	fmt.Printf("DRAM reads/writes: %d / %d\n", m.DRAMReads, m.DRAMWrites)
 	fmt.Printf("MSHR-full set-asides: %d\n", m.MSHRFullStalls)
 	fmt.Printf("DRAM energy: %s\n", m.Energy)
+	if m.EnergyBacking.TotalUJ() > 0 {
+		fmt.Printf("backing energy: %s\n", m.EnergyBacking)
+	}
 	if st := m.Stack; st.Probes+st.DirectReads+st.DirectWrites > 0 {
 		fmt.Printf("stack cache: hit rate %.3f  (probes=%d hits=%d merges=%d fills=%d)\n",
 			m.StackHitRate, st.Probes, st.Hits, st.MissMerges, st.Fills)

@@ -9,7 +9,14 @@
 //
 //	statsdiff old/timeseries.csv new/timeseries.csv
 //	statsdiff -threshold 0.05 -match 'mc0.' old.jsonl new.jsonl
+//	statsdiff -threshold 0.02 -only 'power.energy.*' old.csv new.csv
+//	statsdiff -ignore 'power.*,thermal.*' old.csv new.csv
 //	statsdiff -all old.csv new.csv
+//
+// -only and -ignore take comma-separated path.Match globs over metric
+// names ('power.*' matches the whole power family — * spans dots, only
+// '/' stops it). -only keeps matching metrics, then -ignore drops
+// matching ones; both compose with -match.
 //
 // Metrics present in only one export are reported (as added/removed)
 // but never count as breaches: growing the instrumentation must not
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,6 +40,8 @@ func main() {
 	var (
 		threshold = flag.Float64("threshold", 0, "relative change that counts as a breach (0 = report only, never fail)")
 		match     = flag.String("match", "", "only compare metrics whose name contains this substring")
+		only      = flag.String("only", "", "comma-separated globs; only compare metrics matching one of them")
+		ignore    = flag.String("ignore", "", "comma-separated globs; drop metrics matching one of them")
 		all       = flag.Bool("all", false, "also print unchanged metrics")
 	)
 	flag.Usage = func() {
@@ -45,6 +55,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	keep, err := globFilter(*only, *ignore)
+	if err != nil {
+		fatal(err)
+	}
+
 	oldVals, err := loadExport(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -53,6 +68,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	oldVals = filterVals(oldVals, keep)
+	newVals = filterVals(newVals, keep)
 
 	rows, breaches := diff(oldVals, newVals, *threshold, *match)
 	printed := 0
@@ -68,6 +85,65 @@ func main() {
 	if breaches > 0 {
 		os.Exit(1)
 	}
+}
+
+// globFilter compiles -only/-ignore into one predicate over metric
+// names. Empty -only keeps everything; -ignore then drops its matches.
+// Invalid patterns fail fast (path.ErrBadPattern) rather than silently
+// matching nothing.
+func globFilter(only, ignore string) (func(string) bool, error) {
+	parse := func(spec string) ([]string, error) {
+		if spec == "" {
+			return nil, nil
+		}
+		var pats []string
+		for _, p := range strings.Split(spec, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			// Validate now: path.Match only reports a bad pattern when
+			// it gets that far through the name, so probe it directly.
+			if _, err := path.Match(p, "probe"); err != nil {
+				return nil, fmt.Errorf("bad glob %q: %w", p, err)
+			}
+			pats = append(pats, p)
+		}
+		return pats, nil
+	}
+	onlyPats, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	ignorePats, err := parse(ignore)
+	if err != nil {
+		return nil, err
+	}
+	matches := func(pats []string, name string) bool {
+		for _, p := range pats {
+			if ok, _ := path.Match(p, name); ok {
+				return true
+			}
+		}
+		return false
+	}
+	return func(name string) bool {
+		if len(onlyPats) > 0 && !matches(onlyPats, name) {
+			return false
+		}
+		return !matches(ignorePats, name)
+	}, nil
+}
+
+// filterVals drops metrics the predicate rejects.
+func filterVals(vals map[string]float64, keep func(string) bool) map[string]float64 {
+	out := make(map[string]float64, len(vals))
+	for n, v := range vals {
+		if keep(n) {
+			out[n] = v
+		}
+	}
+	return out
 }
 
 type diffKind int

@@ -96,6 +96,63 @@ func TestDiffThresholdGate(t *testing.T) {
 	}
 }
 
+// TestOnlyIgnoreGlobs pins the -only/-ignore filters: -only keeps its
+// matches, -ignore then drops, both over comma-separated path.Match
+// globs, and a malformed pattern is an error instead of a silent
+// match-nothing.
+func TestOnlyIgnoreGlobs(t *testing.T) {
+	vals := map[string]float64{
+		"power.total.w":         91,
+		"power.layer.cpu.w":     79.5,
+		"thermal.max_dram.c":    70,
+		"mc0.reads":             12,
+		"power.energy.total_uj": 1234,
+	}
+	keep, err := globFilter("power.*", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := filterVals(vals, keep)
+	if len(got) != 3 || got["power.total.w"] != 91 || got["power.layer.cpu.w"] != 79.5 {
+		t.Fatalf("-only 'power.*' kept %v", got)
+	}
+
+	keep, err = globFilter("", "power.*,thermal.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = filterVals(vals, keep)
+	if len(got) != 1 || got["mc0.reads"] != 12 {
+		t.Fatalf("-ignore 'power.*,thermal.*' kept %v", got)
+	}
+
+	// -only then -ignore compose: the energy family minus the total.
+	keep, err = globFilter("power.energy.*, power.total.w", "power.total.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = filterVals(vals, keep)
+	if len(got) != 1 || got["power.energy.total_uj"] != 1234 {
+		t.Fatalf("composed filters kept %v", got)
+	}
+
+	// Empty specs keep everything.
+	keep, err = globFilter("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got = filterVals(vals, keep); len(got) != len(vals) {
+		t.Fatalf("empty filters dropped metrics: %v", got)
+	}
+
+	if _, err := globFilter("power.[", ""); err == nil {
+		t.Fatal("malformed -only glob accepted")
+	}
+	if _, err := globFilter("", "x["); err == nil {
+		t.Fatal("malformed -ignore glob accepted")
+	}
+}
+
 // TestDiffNaNAlwaysBreaches pins the gate's NaN rule: NaN never
 // compares, so without special-casing a corrupt export would pass any
 // threshold — including report-only mode.

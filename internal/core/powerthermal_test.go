@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/telemetry"
+	"stackedsim/internal/thermal"
+)
+
+func ptRun(t *testing.T, cfg *config.Config, track bool) (Metrics, uint64, *PowerThermal) {
+	t.Helper()
+	cfg.WarmupCycles = 5_000
+	cfg.MeasureCycles = 20_000
+	sys, err := NewSystem(cfg, []string{"S.all", "mcf", "S.copy", "milc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pt *PowerThermal
+	if track {
+		pt = sys.AttachPowerThermal(telemetry.NewRegistry(), 500)
+		if pt == nil {
+			t.Fatal("AttachPowerThermal returned nil with a live registry")
+		}
+	}
+	m := sys.Run()
+	return m, sys.Digest(), pt
+}
+
+// TestPowerThermalParity pins the tentpole invariant: a tracked run is
+// bit-identical to an untracked one — the tracker reads counters the
+// simulation keeps anyway and never feeds anything back.
+func TestPowerThermalParity(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		cfg  func() *config.Config
+	}{
+		{"quadMC", config.QuadMC},
+		{"2D", config.Baseline2D},
+		{"fast3D-cache", func() *config.Config {
+			return config.Fast3D().WithStackCache(config.StackCache, 64)
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			base, baseDig, _ := ptRun(t, mk.cfg(), false)
+			inst, instDig, pt := ptRun(t, mk.cfg(), true)
+			if baseDig != instDig {
+				t.Fatalf("tracking changed the architectural digest: %x vs %x", baseDig, instDig)
+			}
+			if base.HMIPC != inst.HMIPC {
+				t.Fatalf("tracking changed HMIPC: %v vs %v", base.HMIPC, inst.HMIPC)
+			}
+			if base.Energy != inst.Energy {
+				t.Fatalf("tracking changed the energy breakdown: %+v vs %+v", base.Energy, inst.Energy)
+			}
+			if pt.Summary().Windows == 0 {
+				t.Fatal("tracker closed no windows over the measured run")
+			}
+		})
+	}
+}
+
+// TestPowerThermalHeatsAndStaysPhysical checks the tracked quantities:
+// the dies warm above ambient under load, every temperature stays
+// finite and ordered sanely, and the per-layer power totals match the
+// gauge totals.
+func TestPowerThermalTracking(t *testing.T) {
+	_, _, pt := ptRun(t, config.QuadMC(), true)
+	s := pt.Summary()
+	if s.Windows == 0 || len(s.Layers) == 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	// quadMC is a true-3D 8GB stack: cpu + logic + 8 DRAM dies.
+	if len(s.Layers) != 10 {
+		t.Fatalf("%d layers, want 10", len(s.Layers))
+	}
+	if s.Layers[0].Name != "cpu" || s.Layers[1].Name != "dram-logic" {
+		t.Fatalf("unexpected layer order: %s, %s", s.Layers[0].Name, s.Layers[1].Name)
+	}
+	if s.CPUPowerW < 25 {
+		t.Fatalf("CPU power %.1fW below the idle floor", s.CPUPowerW)
+	}
+	if s.Layers[0].TempC <= thermal.DefaultAmbientC {
+		t.Fatalf("CPU die at %.1fC did not warm above ambient", s.Layers[0].TempC)
+	}
+	for _, l := range s.Layers {
+		if l.PeakC < l.TempC-1e-9 {
+			t.Fatalf("layer %s peak %.2fC below current %.2fC", l.Name, l.PeakC, l.TempC)
+		}
+	}
+	if s.MaxDRAMTempC <= 0 || s.MaxDRAMTempC > 200 {
+		t.Fatalf("implausible worst-case DRAM temperature %.1fC", s.MaxDRAMTempC)
+	}
+	// The Section 2.4 claim at this window's load.
+	if !s.WithinLimit || s.LimitExceedances != 0 {
+		t.Fatalf("short quadMC run tripped the thermal limit: %+v", s)
+	}
+	if len(s.Trajectory) == 0 {
+		t.Fatal("no trajectory samples kept")
+	}
+	if got := len(s.Trajectory[0].TempC); got != len(s.Layers) {
+		t.Fatalf("trajectory samples carry %d temps for %d layers", got, len(s.Layers))
+	}
+	// The summary must serialize (it becomes powerthermal.json).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPowerThermalDeterministic pins that two identical tracked runs
+// agree bit-for-bit on the tracker state (no wall-clock leakage).
+func TestPowerThermalDeterministic(t *testing.T) {
+	_, _, a := ptRun(t, config.QuadMC(), true)
+	_, _, b := ptRun(t, config.QuadMC(), true)
+	ja, err := json.Marshal(a.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("tracker state differs across identical runs:\n%s\nvs\n%s", ja, jb)
+	}
+	if a.Report() != b.Report() {
+		t.Fatal("report differs across identical runs")
+	}
+}
+
+// TestPowerThermalMetricsRegistered checks the registry families the
+// golden /metrics test consumes.
+func TestPowerThermalMetricsRegistered(t *testing.T) {
+	cfg := config.QuadMC()
+	cfg.WarmupCycles = 1_000
+	cfg.MeasureCycles = 4_000
+	sys, err := NewSystem(cfg, []string{"mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sys.AttachPowerThermal(reg, 0) // 0 -> DefaultPowerWindow
+	sys.Run()
+	names := strings.Join(reg.Names(), "\n")
+	for _, want := range []string{
+		"power.cpu.w", "power.dram.w", "power.offchip.w", "power.total.w",
+		"power.layer.cpu.w", "power.layer.dram-logic.w", "power.layer.dram7.w",
+		"thermal.layer.cpu.c", "thermal.max_dram.c", "thermal.over_limit",
+		"thermal.limit.exceedances", "thermal.over_limit.cycles",
+	} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("registry missing %q; have:\n%s", want, names)
+		}
+	}
+	if sys.AttachPowerThermal(nil, 500) != nil {
+		t.Fatal("nil registry did not disable tracking")
+	}
+}
+
+// TestPowerThermal2DOffChip checks the 2D organization: a CPU-only
+// stack whose DRAM heat shows up off-chip.
+func TestPowerThermal2DOffChip(t *testing.T) {
+	_, _, pt := ptRun(t, config.Baseline2D(), true)
+	s := pt.Summary()
+	if len(s.Layers) != 1 || s.Layers[0].Name != "cpu" {
+		t.Fatalf("2D stack layers: %+v", s.Layers)
+	}
+	if s.OffChipPowerW <= 0 {
+		t.Fatal("2D run dissipated no off-chip DRAM power")
+	}
+	if s.DRAMPowerW != 0 {
+		t.Fatalf("2D run reports %.2fW on-stack DRAM power", s.DRAMPowerW)
+	}
+	if s.OffChipTempC <= thermal.DefaultAmbientC {
+		t.Fatalf("off-chip DRAM at %.1fC under load", s.OffChipTempC)
+	}
+	if s.MaxDRAMTempC != s.OffChipTempC {
+		t.Fatalf("2D worst-case DRAM %.2fC != off-chip %.2fC", s.MaxDRAMTempC, s.OffChipTempC)
+	}
+}
+
+// TestPowerThermalReport checks the run-end report carries the
+// per-layer table, the bank heatmap, and the trajectory sparklines.
+func TestPowerThermalReport(t *testing.T) {
+	_, _, pt := ptRun(t, config.Fast3D().WithStackCache(config.StackMemCache, 64), true)
+	out := pt.Report()
+	for _, want := range []string{
+		"power/thermal", "cpu", "worst-case DRAM", "per-bank accesses",
+		"mc0.rank0", "backing.rank0", "offchip", "temperature trajectory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestThermalFigure drives the -exp thermal pipeline end to end on
+// reduced windows: six organizations, each within the 85C rating, with
+// layer counts derived from the active config (satellite: no hardcoded
+// NewCPUDRAMStack(8, 80, 1.5, true)).
+func TestThermalFigure(t *testing.T) {
+	f, err := tinyRunner().ThermalFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(f.Rows))
+	}
+	dies := map[string]float64{
+		"2D":      1,  // all DRAM off-chip
+		"3D":      9,  // 8 DRAM layers, logic on them
+		"3D-fast": 10, // + separate logic die
+	}
+	for _, row := range f.Rows {
+		if want, ok := dies[row.Label]; ok && row.Values[0] != want {
+			t.Fatalf("%s: %v dies, want %v", row.Label, row.Values[0], want)
+		}
+		// Stack-cache rows run a 64MB stack: one DRAM die (+logic).
+		if strings.Contains(row.Label, "cache") && row.Values[0] > 3 {
+			t.Fatalf("%s: %v dies for a 64MB stack", row.Label, row.Values[0])
+		}
+		cpuW, dramC, ok := row.Values[1], row.Values[5], row.Values[6]
+		if cpuW < 25 || cpuW > 120 {
+			t.Fatalf("%s: implausible CPU power %.1fW", row.Label, cpuW)
+		}
+		if dramC <= 0 || dramC > 200 {
+			t.Fatalf("%s: implausible DRAM temperature %.1fC", row.Label, dramC)
+		}
+		if ok != 1 {
+			t.Fatalf("%s: exceeds the 85C limit (%.1fC) — Section 2.4 claim broken", row.Label, dramC)
+		}
+	}
+}

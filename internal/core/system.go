@@ -55,6 +55,12 @@ type System struct {
 	BackingBus *bus.Bus
 
 	Resizer *mshr.Resizer
+	// pt is the power/thermal tracker (nil unless AttachPowerThermal was
+	// called — disabled means absent, like Faults and Stack).
+	pt *PowerThermal
+	// statsSince is the cycle of the last ResetStats, so poll-driven
+	// energy gauges can convert counter state into wall time.
+	statsSince sim.Cycle
 	// Faults is the compiled fault injector (nil when cfg.Faults is nil
 	// or fault-free — the disabled state is bit-identical to the seed
 	// simulator).
@@ -374,6 +380,7 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 		}
 	}
 	s.Faults.Instrument(reg)
+	s.instrumentEnergy(reg)
 	if tel.Sampler != nil {
 		// Registered last so each sample reflects the end of its cycle,
 		// and on the sampler's own interval so non-boundary cycles skip
@@ -399,8 +406,87 @@ func (s *System) NewAttribCollector(reg *telemetry.Registry) *attrib.Collector {
 	return attrib.NewCollector(reg, s.Cfg.Cores, s.Cfg.MCs, s.Cfg.RanksPerMC())
 }
 
+// dramActivity sums the stacked-channel DRAM counters accumulated since
+// the last ResetStats into a power.Activity.
+func (s *System) dramActivity() power.Activity {
+	var act power.Activity
+	act.Ranks = s.Cfg.RanksTotal
+	for i, mc := range s.MCs {
+		st := mc.Stats()
+		act.ColumnReads += st.Reads
+		act.ColumnWrites += st.Writes
+		act.BytesMoved += s.Buses[i].Stats().Bytes
+		for _, rank := range mc.Ranks() {
+			for _, bank := range rank.Banks {
+				bs := bank.Stats()
+				act.Activates += bs.Activates
+				act.Refreshes += bs.Refreshes
+			}
+		}
+	}
+	return act
+}
+
+// backingActivity sums the off-chip backing-channel counters (zero
+// Activity in StackMemory mode, where the channel is absent).
+func (s *System) backingActivity() power.Activity {
+	var act power.Activity
+	if s.Stack == nil {
+		return act
+	}
+	act.Ranks = s.Cfg.BackingRanks
+	st := s.Backing.Stats()
+	act.ColumnReads = st.Reads
+	act.ColumnWrites = st.Writes
+	act.BytesMoved = s.BackingBus.Stats().Bytes
+	for _, rank := range s.Backing.Ranks() {
+		for _, bank := range rank.Banks {
+			bs := bank.Stats()
+			act.Activates += bs.Activates
+			act.Refreshes += bs.Refreshes
+		}
+	}
+	return act
+}
+
+// dramParams picks the energy parameters of the stacked channel: TSV IO
+// for on-stack DRAM, off-chip DDR2 IO for the 2D organization.
+func (s *System) dramParams() power.Params {
+	if s.Cfg.BusDivider > 1 {
+		return power.DDR2()
+	}
+	return power.Stacked3D()
+}
+
+// instrumentEnergy registers the cumulative DRAM energy breakdown as
+// poll-driven gauges, so the sampler's time-series (and statsdiff) can
+// gate on energy regressions. Values are microjoules accumulated since
+// the last ResetStats — at the final sample, the measured window's
+// energy, matching Metrics.Energy.
+func (s *System) instrumentEnergy(reg *telemetry.Registry) {
+	energy := func() power.Breakdown {
+		elapsed := int64(s.Engine.Now() - s.statsSince)
+		return power.Account(s.dramParams(), s.dramActivity(), elapsed, s.Cfg.CPUMHz)
+	}
+	reg.GaugeFunc("power.energy.activate_uj", func() float64 { return energy().ActivateUJ })
+	reg.GaugeFunc("power.energy.read_uj", func() float64 { return energy().ReadUJ })
+	reg.GaugeFunc("power.energy.write_uj", func() float64 { return energy().WriteUJ })
+	reg.GaugeFunc("power.energy.refresh_uj", func() float64 { return energy().RefreshUJ })
+	reg.GaugeFunc("power.energy.bus_uj", func() float64 { return energy().BusUJ })
+	reg.GaugeFunc("power.energy.static_uj", func() float64 { return energy().StaticUJ })
+	reg.GaugeFunc("power.energy.total_uj", func() float64 { return energy().TotalUJ() })
+	if s.Stack != nil {
+		reg.GaugeFunc("power.energy.backing_uj", func() float64 {
+			elapsed := int64(s.Engine.Now() - s.statsSince)
+			return power.Account(power.DDR2(), s.backingActivity(), elapsed, s.Cfg.CPUMHz).TotalUJ()
+		})
+	}
+}
+
 // ResetStats zeroes every component's statistics (end of warmup).
 func (s *System) ResetStats() {
+	s.statsSince = s.Engine.Now()
+	s.pt.resetStats()
 	for i := range s.Cores {
 		s.Cores[i].ResetStats()
 		s.L1s[i].ResetStats()
@@ -454,6 +540,9 @@ type Metrics struct {
 	// (Section 4.2's power argument), using off-chip IO energies for
 	// the 2D organization and TSV energies for stacked ones.
 	Energy power.Breakdown
+	// EnergyBacking is the off-chip backing channel's energy (DDR2 IO;
+	// zero in StackMemory mode, where the channel is absent).
+	EnergyBacking power.Breakdown
 
 	// RefreshSkipRate is the fraction of refresh commands smart refresh
 	// elided (0 unless config.SmartRefresh).
@@ -536,26 +625,10 @@ func (s *System) Collect() Metrics {
 	if s.Cfg.MeasureCycles > 0 {
 		m.BusUtilization = float64(busBusy) / float64(uint64(s.Cfg.MeasureCycles)*uint64(len(s.Buses)))
 	}
-	var act power.Activity
-	act.Ranks = s.Cfg.RanksTotal
-	for i, mc := range s.MCs {
-		st := mc.Stats()
-		act.ColumnReads += st.Reads
-		act.ColumnWrites += st.Writes
-		act.BytesMoved += s.Buses[i].Stats().Bytes
-		for _, rank := range mc.Ranks() {
-			for _, bank := range rank.Banks {
-				bs := bank.Stats()
-				act.Activates += bs.Activates
-				act.Refreshes += bs.Refreshes
-			}
-		}
+	m.Energy = power.Account(s.dramParams(), s.dramActivity(), s.Cfg.MeasureCycles, s.Cfg.CPUMHz)
+	if s.Stack != nil {
+		m.EnergyBacking = power.Account(power.DDR2(), s.backingActivity(), s.Cfg.MeasureCycles, s.Cfg.CPUMHz)
 	}
-	params := power.Stacked3D()
-	if s.Cfg.BusDivider > 1 {
-		params = power.DDR2() // off-chip organization
-	}
-	m.Energy = power.Account(params, act, s.Cfg.MeasureCycles, s.Cfg.CPUMHz)
 	var skipped, issued uint64
 	for _, mc := range s.MCs {
 		for _, rank := range mc.Ranks() {

@@ -49,6 +49,8 @@ type rbEntry struct {
 // BankStats counts per-bank events.
 type BankStats struct {
 	Accesses  uint64
+	Reads     uint64 // column reads (Accesses = Reads + Writes)
+	Writes    uint64 // column writes, incl. writebacks
 	RowHits   uint64
 	Activates uint64
 	Evictions uint64 // row-buffer entries displaced
@@ -141,6 +143,11 @@ func (b *Bank) access(now sim.Cycle, row int64, write bool, tag *attrib.Tag) (da
 		panic(fmt.Sprintf("dram: Access at %d while busy until %d", now, b.busyUntil))
 	}
 	b.stats.Accesses++
+	if write {
+		b.stats.Writes++
+	} else {
+		b.stats.Reads++
+	}
 	for i := range b.rb {
 		if b.rb[i].row == row {
 			// Row-buffer hit: column access only.
@@ -291,6 +298,8 @@ func (r *Rank) Instrument(reg *telemetry.Registry, name string) {
 	reg.GaugeFunc(name+".rowhit", sum(func(s *BankStats) uint64 { return s.RowHits }))
 	reg.GaugeFunc(name+".activates", sum(func(s *BankStats) uint64 { return s.Activates }))
 	reg.GaugeFunc(name+".refreshes", sum(func(s *BankStats) uint64 { return s.Refreshes }))
+	reg.GaugeFunc(name+".reads", sum(func(s *BankStats) uint64 { return s.Reads }))
+	reg.GaugeFunc(name+".writes", sum(func(s *BankStats) uint64 { return s.Writes }))
 }
 
 // RefreshInterval reports tREFI in CPU cycles (0 = disabled).

@@ -75,6 +75,58 @@ func LayersFor(totalGB, perLayerGB int, separateLogic bool) int {
 	return layers
 }
 
+// Placement maps the DRAM organization onto the dies of a processor
+// stack: which stacked layer each rank lives on. Ranks spread evenly
+// across the DRAM layers from the bottom of the stack upward (rank 0
+// nearest the processor, where the vertical bus is shortest). The zero
+// Placement means no stacked DRAM — the 2D organization, where every
+// rank is off-chip.
+type Placement struct {
+	DRAMLayers int  // stacked DRAM dies (0 = all DRAM off-chip)
+	Logic      bool // peripheral logic split onto its own die
+	Ranks      int  // ranks spread across the DRAM layers
+}
+
+// NewPlacement builds a placement of ranks ranks over dramLayers DRAM
+// dies (with a separate logic die when logic is set). dramLayers <= 0
+// yields the off-chip placement.
+func NewPlacement(dramLayers, ranks int, logic bool) Placement {
+	if dramLayers <= 0 {
+		return Placement{}
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	return Placement{DRAMLayers: dramLayers, Logic: logic, Ranks: ranks}
+}
+
+// Stacked reports whether any DRAM is on-stack.
+func (p Placement) Stacked() bool { return p.DRAMLayers > 0 }
+
+// Dies reports the total die count including the processor.
+func (p Placement) Dies() int {
+	n := 1 + p.DRAMLayers
+	if p.Logic && p.DRAMLayers > 0 {
+		n++
+	}
+	return n
+}
+
+// LayerOfRank reports which DRAM layer (0 = nearest the processor)
+// holds the given rank. Out-of-range ranks clamp.
+func (p Placement) LayerOfRank(rank int) int {
+	if p.DRAMLayers <= 0 || p.Ranks <= 0 {
+		return 0
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= p.Ranks {
+		rank = p.Ranks - 1
+	}
+	return rank * p.DRAMLayers / p.Ranks
+}
+
 // RowBufferBudgetBytes reports the SRAM held in row buffers: one
 // page-sized entry per row-buffer-cache slot per bank (Section 4.1's
 // 256KB-per-8-ranks arithmetic).

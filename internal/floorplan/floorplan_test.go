@@ -83,6 +83,49 @@ func TestRowBufferBudgetMatchesPaper(t *testing.T) {
 	}
 }
 
+func TestPlacement(t *testing.T) {
+	// The paper's 8GB stack: 8 DRAM layers, 16 ranks, separate logic.
+	p := NewPlacement(8, 16, true)
+	if !p.Stacked() {
+		t.Fatal("stacked placement reports off-chip")
+	}
+	if got := p.Dies(); got != 10 { // cpu + logic + 8 dram
+		t.Fatalf("Dies = %d, want 10", got)
+	}
+	// Two ranks per layer, bottom-up.
+	for rank := 0; rank < 16; rank++ {
+		want := rank / 2
+		if got := p.LayerOfRank(rank); got != want {
+			t.Fatalf("LayerOfRank(%d) = %d, want %d", rank, got, want)
+		}
+	}
+	// Clamping.
+	if p.LayerOfRank(-1) != 0 || p.LayerOfRank(99) != 7 {
+		t.Fatal("out-of-range rank did not clamp")
+	}
+	// Fewer ranks than layers still covers the bottom layers evenly.
+	sparse := NewPlacement(8, 4, false)
+	if got := sparse.LayerOfRank(3); got != 6 {
+		t.Fatalf("sparse LayerOfRank(3) = %d, want 6", got)
+	}
+	if sparse.Dies() != 9 { // no logic die
+		t.Fatalf("sparse Dies = %d, want 9", sparse.Dies())
+	}
+}
+
+func TestPlacementOffChip(t *testing.T) {
+	var zero Placement
+	if zero.Stacked() {
+		t.Fatal("zero placement claims stacked DRAM")
+	}
+	if zero.Dies() != 1 || zero.LayerOfRank(5) != 0 {
+		t.Fatal("zero placement not CPU-only")
+	}
+	if NewPlacement(0, 16, true) != zero {
+		t.Fatal("NewPlacement with 0 layers not the off-chip placement")
+	}
+}
+
 func TestReport(t *testing.T) {
 	out := Report()
 	for _, want := range []string{"0.32", "27.9", "294", "256", "layers"} {

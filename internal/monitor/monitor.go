@@ -49,6 +49,33 @@ type RunReport struct {
 	Err         string  `json:"error,omitempty"`
 }
 
+// PowerThermalLayer is one die of the PowerThermal block.
+type PowerThermalLayer struct {
+	Name            string  `json:"name"`
+	PowerW          float64 `json:"power_w"`
+	TempC           float64 `json:"temp_c"`
+	PeakC           float64 `json:"peak_c"`
+	OverLimitCycles int64   `json:"over_limit_cycles"`
+}
+
+// PowerThermal mirrors the power/thermal tracker's summary on the wire:
+// last-window powers, current and peak per-layer temperatures, and the
+// thermal-limit accounting (cmd/stacksim adapts core's tracker into
+// this shape, keeping monitor free of the machine's packages).
+type PowerThermal struct {
+	CPUPowerW        float64             `json:"cpu_power_w"`
+	DRAMPowerW       float64             `json:"dram_power_w"`
+	OffChipPowerW    float64             `json:"offchip_power_w"`
+	TotalPowerW      float64             `json:"total_power_w"`
+	MaxDRAMTempC     float64             `json:"max_dram_temp_c"`
+	LimitC           float64             `json:"limit_c"`
+	WithinLimit      bool                `json:"within_limit"`
+	LimitExceedances uint64              `json:"limit_exceedances"`
+	OverLimitCycles  uint64              `json:"over_limit_cycles"`
+	OffChipTempC     float64             `json:"offchip_dram_temp_c"`
+	Layers           []PowerThermalLayer `json:"layers,omitempty"`
+}
+
 // scalar is one counter/gauge value frozen at snapshot time.
 type scalar struct {
 	name string
@@ -74,6 +101,7 @@ type snapshot struct {
 	scalars []scalar
 	dists   []distribution
 	attrib  *attrib.Breakdown
+	pt      *PowerThermal
 }
 
 // Server is the HTTP observability plane for one process. Configure
@@ -85,6 +113,9 @@ type Server struct {
 	// AttribFn, when set, supplies the attribution breakdown for each
 	// snapshot. Called from the Collect goroutine only.
 	AttribFn func() *attrib.Breakdown
+	// PowerThermalFn, when set, supplies the power/thermal block for
+	// each snapshot. Called from the Collect goroutine only.
+	PowerThermalFn func() *PowerThermal
 	// ProgressFn, when set, supplies live runner progress. Unlike the
 	// registry it is polled from handler goroutines, so it must be
 	// safe for concurrent use (core.Runner's Status is atomics-backed).
@@ -119,6 +150,9 @@ func (s *Server) Collect(now sim.Cycle) {
 	})
 	if s.AttribFn != nil {
 		snap.attrib = s.AttribFn()
+	}
+	if s.PowerThermalFn != nil {
+		snap.pt = s.PowerThermalFn()
 	}
 	s.mu.Lock()
 	s.snap = snap
@@ -223,6 +257,7 @@ type jsonSnapshot struct {
 	Metrics       map[string]float64 `json:"metrics"`
 	Distributions []jsonDist         `json:"distributions,omitempty"`
 	Attribution   *attrib.Breakdown  `json:"attribution,omitempty"`
+	PowerThermal  *PowerThermal      `json:"power_thermal,omitempty"`
 	Progress      *Progress          `json:"progress,omitempty"`
 }
 
@@ -238,9 +273,10 @@ type jsonDist struct {
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	snap := s.copySnapshot()
 	out := jsonSnapshot{
-		Cycle:       int64(snap.cycle),
-		Metrics:     make(map[string]float64, len(snap.scalars)),
-		Attribution: snap.attrib,
+		Cycle:        int64(snap.cycle),
+		Metrics:      make(map[string]float64, len(snap.scalars)),
+		Attribution:  snap.attrib,
+		PowerThermal: snap.pt,
 	}
 	for _, sc := range snap.scalars {
 		out.Metrics[sc.name] = sc.v

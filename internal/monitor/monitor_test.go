@@ -32,6 +32,20 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	s := &Server{
 		Registry: reg,
 		AttribFn: col.Breakdown,
+		PowerThermalFn: func() *PowerThermal {
+			return &PowerThermal{
+				CPUPowerW:    79.5,
+				DRAMPowerW:   11.5,
+				TotalPowerW:  91,
+				MaxDRAMTempC: 70.25,
+				LimitC:       85,
+				WithinLimit:  true,
+				Layers: []PowerThermalLayer{
+					{Name: "cpu", PowerW: 79.5, TempC: 68.5, PeakC: 68.5},
+					{Name: "dram0", PowerW: 11.5, TempC: 70.25, PeakC: 70.25},
+				},
+			}
+		},
 		ProgressFn: func() Progress {
 			return Progress{Queued: 1, Running: 2, Completed: 3, Failed: 0}
 		},
@@ -118,6 +132,29 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 	if snap.Progress == nil || snap.Progress.Completed != 3 {
 		t.Fatalf("progress missing from snapshot: %+v", snap.Progress)
+	}
+}
+
+// TestSnapshotPowerThermal pins the power/thermal block of /snapshot:
+// per-layer powers and temperatures with the limit verdict.
+func TestSnapshotPowerThermal(t *testing.T) {
+	_, ts := testServer(t)
+	body, _ := get(t, ts.URL+"/snapshot")
+	var snap struct {
+		PowerThermal *PowerThermal `json:"power_thermal"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	pt := snap.PowerThermal
+	if pt == nil {
+		t.Fatalf("/snapshot missing power_thermal block:\n%s", body)
+	}
+	if pt.CPUPowerW != 79.5 || pt.MaxDRAMTempC != 70.25 || !pt.WithinLimit {
+		t.Fatalf("power_thermal block mangled: %+v", pt)
+	}
+	if len(pt.Layers) != 2 || pt.Layers[1].Name != "dram0" {
+		t.Fatalf("layers mangled: %+v", pt.Layers)
 	}
 }
 

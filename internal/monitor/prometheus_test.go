@@ -79,6 +79,52 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusPowerThermalGolden pins the exposition of the power/
+// thermal metric families the core tracker registers (power.* gauges
+// per layer, thermal.* temperatures, and the limit-exceedance
+// counters) against testdata/metrics_powerthermal_golden.txt. Rerun
+// with -update after an intentional change.
+func TestPrometheusPowerThermalGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("power.cpu.w").Set(79.5)
+	reg.Gauge("power.dram.w").Set(11.25)
+	reg.Gauge("power.offchip.w").Set(2.5)
+	reg.Gauge("power.total.w").Set(93.25)
+	reg.Gauge("power.layer.cpu.w").Set(79.5)
+	reg.Gauge("power.layer.dram-logic.w").Set(3.25)
+	reg.Gauge("power.layer.dram0.w").Set(1)
+	reg.Gauge("power.energy.total_uj").Set(1234.5)
+	reg.Gauge("thermal.layer.cpu.c").Set(68.5)
+	reg.Gauge("thermal.layer.dram-logic.c").Set(70.125)
+	reg.Gauge("thermal.layer.dram0.c").Set(70.25)
+	reg.Gauge("thermal.max_dram.c").Set(70.25)
+	reg.Gauge("thermal.over_limit").Set(0)
+	reg.Counter("thermal.limit.exceedances").Add(0)
+	reg.Counter("thermal.over_limit.cycles").Add(0)
+
+	srv := &Server{Registry: reg}
+	srv.Collect(98765)
+	snap := srv.copySnapshot()
+
+	var b strings.Builder
+	writePrometheus(&b, &snap, nil)
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics_powerthermal_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("power/thermal exposition drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestPrometheusOrderIndependent pins that registration order cannot
 // leak into the exposition: two registries with the same metrics in
 // different orders must render identically.

@@ -97,6 +97,27 @@ func (b Breakdown) String() string {
 		b.TotalUJ(), b.ActivateUJ, b.ReadUJ, b.WriteUJ, b.RefreshUJ, b.BusUJ, b.StaticUJ, b.PerAccessNJ())
 }
 
+// CPUParams models processor power from committed work: a constant
+// idle/leakage floor plus a fixed dynamic energy per committed uop.
+type CPUParams struct {
+	IdleW float64 // leakage + clock tree, zero commits
+	UopPJ float64 // dynamic energy per committed uop
+}
+
+// DefaultCPU calibrates the Table 1 quad-core to the 80W-class budget
+// the thermal analysis assumes: four 4-wide cores at 3.33GHz committing
+// flat out dissipate ~80W, of which ~25W is the idle floor.
+func DefaultCPU() CPUParams { return CPUParams{IdleW: 25, UopPJ: 1030} }
+
+// PowerW reports average processor power over a window that committed
+// uops in seconds of wall time.
+func (p CPUParams) PowerW(uops uint64, seconds float64) float64 {
+	if seconds <= 0 {
+		return p.IdleW
+	}
+	return p.IdleW + float64(uops)*p.UopPJ*1e-12/seconds
+}
+
 const pjToUJ = 1e-6
 
 // Account converts an activity summary into energy. elapsedCycles and

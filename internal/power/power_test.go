@@ -84,6 +84,25 @@ func TestStackedIOCheaperThan2D(t *testing.T) {
 	}
 }
 
+func TestCPUPower(t *testing.T) {
+	p := DefaultCPU()
+	if got := p.PowerW(0, 1); got != p.IdleW {
+		t.Fatalf("idle power = %v, want %v", got, p.IdleW)
+	}
+	if got := p.PowerW(1000, 0); got != p.IdleW {
+		t.Fatalf("zero-window power = %v, want idle floor", got)
+	}
+	// Four 4-wide 3333.3MHz cores committing flat out for one second:
+	// the calibration target is the ~80W budget the thermal model assumes.
+	full := uint64(4 * 4 * 3333.3e6)
+	if got := p.PowerW(full, 1); math.Abs(got-80) > 2 {
+		t.Fatalf("full-commit quad-core = %.1fW, want ~80W", got)
+	}
+	if p.PowerW(full/2, 1) >= p.PowerW(full, 1) {
+		t.Fatal("power not increasing with committed work")
+	}
+}
+
 func TestBreakdownString(t *testing.T) {
 	b := Account(DDR2(), Activity{ColumnReads: 10, Activates: 5}, 0, 0)
 	s := b.String()

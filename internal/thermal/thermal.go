@@ -36,6 +36,55 @@ type Stack struct {
 // paper compensates for on-stack heat with a 32ms refresh).
 const DRAMThermalLimitC = 85.0
 
+// Default network parameters shared by every constructor.
+const (
+	// DefaultRSinkKPerW is the sink+spreader resistance to ambient of a
+	// high-end heat sink.
+	DefaultRSinkKPerW = 0.25
+	// DefaultRLayerKPerW is the resistance of one thinned die plus its
+	// thermocompression bond.
+	DefaultRLayerKPerW = 0.08
+	// DefaultAmbientC is the in-case ambient temperature.
+	DefaultAmbientC = 45.0
+	// DIMMRKPerW is the junction-to-ambient resistance of an off-chip
+	// DRAM device on a DIMM in case airflow — no heat sink, but also no
+	// processor underneath. Used to estimate off-chip DRAM temperature
+	// for the 2D organization and the stack-cache backing channel.
+	DIMMRKPerW = 3.0
+)
+
+// OffChipDRAMTempC estimates the steady-state temperature of off-chip
+// DRAM dissipating powerW across its DIMMs (they share the same case
+// ambient as the stack but their own convection path).
+func OffChipDRAMTempC(powerW float64) float64 {
+	return DefaultAmbientC + DIMMRKPerW*powerW
+}
+
+// NewStack builds a stack with zero layer powers: one processor die
+// against the heat sink, dramLayers DRAM dies above it, and a
+// peripheral logic die between them when logicLayer is set. Unlike
+// NewCPUDRAMStack it permits dramLayers == 0 — the 2D organization,
+// where the stack is just the processor and the DRAM lives off-chip.
+// Set the per-layer PowerW fields before querying temperatures.
+func NewStack(dramLayers int, logicLayer bool) *Stack {
+	if dramLayers < 0 {
+		panic(fmt.Sprintf("thermal: %d DRAM layers", dramLayers))
+	}
+	s := &Stack{
+		RSinkKPerW:  DefaultRSinkKPerW,
+		RLayerKPerW: DefaultRLayerKPerW,
+		AmbientC:    DefaultAmbientC,
+	}
+	s.Layers = append(s.Layers, Layer{Name: "cpu"})
+	if logicLayer && dramLayers > 0 {
+		s.Layers = append(s.Layers, Layer{Name: "dram-logic"})
+	}
+	for i := 0; i < dramLayers; i++ {
+		s.Layers = append(s.Layers, Layer{Name: fmt.Sprintf("dram%d", i)})
+	}
+	return s
+}
+
 // NewCPUDRAMStack builds the paper's stack: one processor die against
 // the heat sink with dramLayers DRAM dies above it (plus one peripheral
 // logic die for the true-3D organization when logicLayer is set).
@@ -43,18 +92,11 @@ func NewCPUDRAMStack(dramLayers int, cpuPowerW, dramPowerPerLayerW float64, logi
 	if dramLayers < 1 {
 		panic(fmt.Sprintf("thermal: %d DRAM layers", dramLayers))
 	}
-	s := &Stack{
-		RSinkKPerW:  0.25, // high-end heat sink + spreader
-		RLayerKPerW: 0.08, // thinned die + thermocompression bond
-		AmbientC:    45,   // in-case ambient
+	s := NewStack(dramLayers, logicLayer)
+	for i := range s.Layers {
+		s.Layers[i].PowerW = dramPowerPerLayerW
 	}
-	s.Layers = append(s.Layers, Layer{Name: "cpu", PowerW: cpuPowerW})
-	if logicLayer {
-		s.Layers = append(s.Layers, Layer{Name: "dram-logic", PowerW: dramPowerPerLayerW})
-	}
-	for i := 0; i < dramLayers; i++ {
-		s.Layers = append(s.Layers, Layer{Name: fmt.Sprintf("dram%d", i), PowerW: dramPowerPerLayerW})
-	}
+	s.Layers[0].PowerW = cpuPowerW
 	return s
 }
 

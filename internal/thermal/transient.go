@@ -1,0 +1,152 @@
+package thermal
+
+// Transient extends the steady-state series network with per-layer heat
+// capacities, turning it into a first-order RC chain integrated with an
+// explicit-Euler scheme. The steady-state Temperatures() of the
+// underlying Stack is the exact fixed point of the integration: at the
+// fixed point the net heat flow into every layer is zero, which
+// telescopes into the same prefix-sum relation the steady-state model
+// solves in closed form.
+//
+// This is a deliberate simplification of a HotSpot-style analysis: one
+// node per die (no lateral resolution), constant resistances and
+// capacities, and heat sunk only through the bottom of the stack. See
+// docs/OBSERVABILITY.md for the assumption list.
+type Transient struct {
+	// S supplies the topology, resistances, ambient, and the per-layer
+	// PowerW inputs read on every Step. Callers update S.Layers[i].PowerW
+	// between steps to drive the model with time-varying power.
+	S *Stack
+	// CJPerK is the heat capacity of each layer (same order as S.Layers).
+	// Defaults come from NewTransient; callers may override before
+	// stepping.
+	CJPerK []float64
+
+	t       []float64 // current temperature per layer
+	scratch []float64
+	g       []float64 // g[i] = conductance from layer i to the node below
+}
+
+// Default lumped heat capacities. A 100mm2 silicon die is ~1.6 J/(K*cm3);
+// at full 300um thickness that is ~0.05 J/K plus spreader mass for the
+// processor, and ~0.01 J/K for a thinned (~50um) DRAM or logic die with
+// its bond layer.
+const (
+	DefaultCPUCapJPerK = 0.08
+	DefaultDieCapJPerK = 0.01
+)
+
+// eulerStepMargin keeps explicit Euler well inside its stability bound
+// (h < C/(sum of adjacent conductances)).
+const eulerStepMargin = 0.2
+
+// NewTransient builds a transient model over s, initialized to ambient
+// with default heat capacities (the "cpu" layer gets the full-thickness
+// die + spreader capacity, every other layer the thinned-die one).
+func NewTransient(s *Stack) *Transient {
+	n := len(s.Layers)
+	tr := &Transient{
+		S:       s,
+		CJPerK:  make([]float64, n),
+		t:       make([]float64, n),
+		scratch: make([]float64, n),
+		g:       make([]float64, n),
+	}
+	for i, l := range s.Layers {
+		c := DefaultDieCapJPerK
+		if l.Name == "cpu" {
+			c = DefaultCPUCapJPerK
+		}
+		tr.CJPerK[i] = c
+		tr.t[i] = s.AmbientC
+	}
+	for i := 0; i < n; i++ {
+		r := s.RLayerKPerW
+		if i == 0 {
+			r = s.RSinkKPerW // layer 0 couples to ambient through the sink
+		}
+		if r > 0 {
+			tr.g[i] = 1 / r
+		}
+	}
+	return tr
+}
+
+// Step advances the model by dt seconds, reading the current per-layer
+// powers from S. The step is internally substepped to stay within the
+// explicit-Euler stability bound, so any dt is safe; the result is
+// deterministic for a given power sequence.
+func (tr *Transient) Step(dt float64) {
+	n := len(tr.S.Layers)
+	if n == 0 || dt <= 0 {
+		return
+	}
+	// Stability bound from the current capacities (they are caller-
+	// mutable, so recompute: n is small and Step is off the hot path).
+	hmax := 0.0
+	for i := 0; i < n; i++ {
+		gSum := tr.g[i]
+		if i+1 < n {
+			gSum += tr.g[i+1]
+		}
+		if gSum <= 0 || tr.CJPerK[i] <= 0 {
+			continue
+		}
+		h := eulerStepMargin * tr.CJPerK[i] / gSum
+		if hmax == 0 || h < hmax {
+			hmax = h
+		}
+	}
+	steps := 1
+	if hmax > 0 && dt > hmax {
+		steps = int(dt/hmax) + 1
+	}
+	h := dt / float64(steps)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			below := tr.S.AmbientC
+			if i > 0 {
+				below = tr.t[i-1]
+			}
+			flow := tr.S.Layers[i].PowerW + tr.g[i]*(below-tr.t[i])
+			if i+1 < n {
+				flow += tr.g[i+1] * (tr.t[i+1] - tr.t[i])
+			}
+			if c := tr.CJPerK[i]; c > 0 {
+				tr.scratch[i] = tr.t[i] + h*flow/c
+			} else {
+				tr.scratch[i] = tr.t[i]
+			}
+		}
+		copy(tr.t, tr.scratch)
+	}
+}
+
+// Temperatures returns a copy of the current layer temperatures in
+// stack order.
+func (tr *Transient) Temperatures() []float64 {
+	out := make([]float64, len(tr.t))
+	copy(out, tr.t)
+	return out
+}
+
+// TempC reports the current temperature of layer i.
+func (tr *Transient) TempC(i int) float64 { return tr.t[i] }
+
+// MaxDRAMTempC reports the hottest current non-CPU layer (0 when the
+// stack has no DRAM layers, mirroring Stack.MaxDRAMTempC).
+func (tr *Transient) MaxDRAMTempC() float64 {
+	max := 0.0
+	for i, l := range tr.S.Layers {
+		if l.Name != "cpu" && tr.t[i] > max {
+			max = tr.t[i]
+		}
+	}
+	return max
+}
+
+// WithinDRAMLimit reports whether every DRAM layer is currently under
+// the rated limit.
+func (tr *Transient) WithinDRAMLimit() bool {
+	return tr.MaxDRAMTempC() <= DRAMThermalLimitC
+}

@@ -25,6 +25,15 @@
 #      bit-identical to the seed by TestStackMemoryParity), so its wall
 #      vs the plain run is the PR gate (~0, <=2%); the cache/memcache
 #      walls price the extra machinery (tag probes, backing channel).
+#   6. The same run with power/thermal tracking on vs off (best wall of
+#      three each), emitting BENCH_thermal.json. A -power=false run
+#      never attaches the tracker, so the PR gate is a <=2% disabled
+#      slowdown (in practice ~0); the enabled wall prices the per-window
+#      accounting and transient thermal integration. A statsdiff with
+#      -ignore 'power.*,thermal.*' checks tracking perturbed nothing.
+#
+# Measurements 3-6 pass -power=false on their baselines so each one
+# isolates its own subsystem's cost.
 #
 # Usage: scripts/bench.sh [outdir]   (default outdir: results)
 #
@@ -107,10 +116,10 @@ best_wall() {
     done
     printf '%s' "$best"
 }
-echo "== attribution on (best of 3):  $attrib_args"
-on_wall=$(best_wall "$attrib_on")
-echo "== attribution off (best of 3): $attrib_args -attrib=false"
-off_wall=$(best_wall "$attrib_off" -attrib=false)
+echo "== attribution on (best of 3):  $attrib_args -power=false"
+on_wall=$(best_wall "$attrib_on" -power=false)
+echo "== attribution off (best of 3): $attrib_args -attrib=false -power=false"
+off_wall=$(best_wall "$attrib_off" -attrib=false -power=false)
 
 # enabled_overhead: what turning attribution ON costs (informational).
 # disabled_slowdown: what a run with attribution OFF pays relative to
@@ -157,7 +166,7 @@ cat > "$fault_tmp/scenario.json" <<'EOF'
 }
 EOF
 echo "== fault injection on (best of 3): $attrib_args -fault-scenario bench"
-fault_wall=$(best_wall "$fault_tmp/fault_on" -attrib=false -fault-scenario "$fault_tmp/scenario.json")
+fault_wall=$(best_wall "$fault_tmp/fault_on" -attrib=false -power=false -fault-scenario "$fault_tmp/scenario.json")
 
 fault_overhead=$(awk -v on="$fault_wall" -v off="$off_wall" \
     'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
@@ -179,11 +188,11 @@ cat "$outdir/BENCH_fault.json"
 # gate covers the flag path too.
 stack_tmp=$(mktemp -d)
 echo "== stack memory mode (best of 3): $attrib_args -stack-mode memory"
-memory_wall=$(best_wall "$stack_tmp/memory" -attrib=false -stack-mode memory)
+memory_wall=$(best_wall "$stack_tmp/memory" -attrib=false -power=false -stack-mode memory)
 echo "== stack cache mode (best of 3): $attrib_args -stack-mode cache -stack-cap-mb 64"
-cache_wall=$(best_wall "$stack_tmp/cache" -attrib=false -stack-mode cache -stack-cap-mb 64)
+cache_wall=$(best_wall "$stack_tmp/cache" -attrib=false -power=false -stack-mode cache -stack-cap-mb 64)
 echo "== stack memcache mode (best of 3): $attrib_args -stack-mode memcache -stack-cap-mb 64"
-memcache_wall=$(best_wall "$stack_tmp/memcache" -attrib=false -stack-mode memcache -stack-cap-mb 64)
+memcache_wall=$(best_wall "$stack_tmp/memcache" -attrib=false -power=false -stack-mode memcache -stack-cap-mb 64)
 
 memory_overhead=$(awk -v on="$memory_wall" -v off="$off_wall" \
     'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
@@ -201,3 +210,39 @@ cat > "$outdir/BENCH_stackcache.json" <<EOF
 EOF
 echo "== $outdir/BENCH_stackcache.json"
 cat "$outdir/BENCH_stackcache.json"
+
+# Power/thermal tracking cost: the tracker converts per-bank counters
+# into per-layer power each window and steps the transient RC model.
+# The off run IS the attrib-off/power-off run above, so only the
+# tracked wall is new work. The PR gate is the disabled slowdown: a
+# -power=false run never attaches the tracker, so it must stay within
+# 2% of that shared baseline (it is the same code path).
+pt_tmp=$(mktemp -d)
+echo "== power/thermal tracking on (best of 3): $attrib_args -attrib=false"
+power_on_wall=$(best_wall "$pt_tmp/power_on" -attrib=false)
+
+power_overhead=$(awk -v on="$power_on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
+power_disabled_slowdown=$(awk -v on="$power_on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (on > 0) ? (off - on) / on : 0 }')
+
+cat > "$outdir/BENCH_thermal.json" <<EOF
+{
+  "run": "quadMC VH1 @ warmup=50000 measure=600000, best wall of 3",
+  "power_on_wall_seconds": $power_on_wall,
+  "power_off_wall_seconds": $off_wall,
+  "power_enabled_overhead": $power_overhead,
+  "power_disabled_slowdown": $power_disabled_slowdown,
+  "disabled_budget": 0.02
+}
+EOF
+echo "== $outdir/BENCH_thermal.json"
+cat "$outdir/BENCH_thermal.json"
+
+# Zero-perturb sanity: with the tracker's own power.*/thermal.* columns
+# ignored, the tracked and untracked runs must agree on every metric
+# (TestPowerThermalParity pins the digest; this checks the exports).
+echo "== statsdiff power-on vs power-off (-ignore 'power.*,thermal.*')"
+"$dbin" -threshold 0.0001 -ignore 'power.*,thermal.*' \
+    "$attrib_off/timeseries.csv" "$pt_tmp/power_on/timeseries.csv" \
+    || echo "bench: WARNING: power/thermal tracking changed shared metrics (parity bug)"

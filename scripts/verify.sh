@@ -16,6 +16,9 @@
 # internal/fault rides along because its views are shared with every
 # memory component a run touches, and internal/stackcache because its
 # layer sits on the hot path between the L2 and every controller.
+# internal/power and internal/thermal feed the power/thermal tracker
+# whose summary the monitor serves from handler goroutines, so they run
+# under the race detector alongside it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
