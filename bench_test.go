@@ -15,6 +15,7 @@ import (
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
+	"stackedsim/internal/cpu"
 	"stackedsim/internal/telemetry"
 	"stackedsim/internal/thermal"
 	"stackedsim/internal/workload"
@@ -286,6 +287,104 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(100_000), "cycles/op")
+}
+
+// BenchmarkSimulatorThroughputFullTick runs the throughput benchmark in
+// the engine's compatibility mode — every component ticks every cycle,
+// as the seed engine did. The ratio to BenchmarkSimulatorThroughput is
+// the skip engine's speedup on a saturated machine; results are
+// bit-identical either way (TestTickSchedulingParity).
+func BenchmarkSimulatorThroughputFullTick(b *testing.B) {
+	cfg := config.QuadMC()
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 100_000
+	mix, _ := workload.MixByName("VH1")
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(cfg, mix.Benchmarks[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Engine.SetFullTick(true)
+		sys.Run()
+	}
+	b.ReportMetric(float64(100_000), "cycles/op")
+}
+
+// idleHeavySystem builds the workload shape the skip-to-next-event
+// engine accelerates most: a single core on the slow 2D baseline,
+// pointer-chasing through a footprint far beyond the L2 with sparse,
+// always-cold loads. Misses serialize (about one load per hundred
+// μops keeps roughly one in the ROB), so the core spends most of each
+// several-hundred-cycle off-chip round trip provably asleep, and the
+// caches sleep with it.
+func idleHeavySystem(b *testing.B, cycles int64) *core.System {
+	b.Helper()
+	spec := workload.Spec{
+		Name:      "idlechase",
+		Pattern:   workload.PointerChase,
+		Footprint: 64 << 20,
+		MemFrac:   1.0,
+		ColdFrac:  1.0,
+	}
+	cfg := config.Baseline2D()
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = cycles
+	src := workload.NewGenerator(spec, cfg.Seed)
+	sys, err := core.NewSystemFromSources(cfg, []cpu.UOpSource{src}, []string{spec.Name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+const idleHeavyCycles = 1_000_000
+
+// BenchmarkSimulatorIdleHeavy measures cycles per wall-second on the
+// idle-heavy machine with the skip engine on.
+func BenchmarkSimulatorIdleHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := idleHeavySystem(b, idleHeavyCycles)
+		b.StartTimer()
+		sys.Run()
+	}
+	b.ReportMetric(float64(idleHeavyCycles), "cycles/op")
+}
+
+// BenchmarkSimulatorIdleHeavyFullTick is the full-tick baseline for
+// BenchmarkSimulatorIdleHeavy.
+func BenchmarkSimulatorIdleHeavyFullTick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := idleHeavySystem(b, idleHeavyCycles)
+		sys.Engine.SetFullTick(true)
+		b.StartTimer()
+		sys.Run()
+	}
+	b.ReportMetric(float64(idleHeavyCycles), "cycles/op")
+}
+
+// BenchmarkRequestPath measures the steady-state request path alone:
+// the machine is built and warmed outside the timed region, so ns/op
+// and allocs/op cover only simulation — misses allocating MSHR entries,
+// requests traversing L2/DRAM, fills completing. With the request,
+// tag, MSHR-entry and miss-node pools this should be allocation-free
+// up to amortized slice growth; run with -benchmem and gate on
+// allocs/op (scripts/bench.sh does).
+func BenchmarkRequestPath(b *testing.B) {
+	cfg := config.QuadMC()
+	mix, _ := workload.MixByName("VH1")
+	sys, err := core.NewSystem(cfg, mix.Benchmarks[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Engine.Run(20_000) // warm the pools, fill the queues
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Engine.Run(1_000)
+	}
+	b.ReportMetric(1_000, "cycles/op")
 }
 
 // BenchmarkEnergyRowBuffer regenerates the Section 4.2 energy extension:

@@ -358,6 +358,7 @@ func main() {
 		fatal(runErr)
 	}
 	report(cfg, m)
+	engineReport(sys)
 	if mon != nil {
 		// Publish the end-of-run state for scrapes that outlive the run.
 		mon.Collect(sys.Engine.Now())
@@ -600,6 +601,24 @@ func gitDescribe() string {
 		return ""
 	}
 	return strings.TrimSpace(string(out))
+}
+
+// engineReport prints how hard the event-driven engine worked for the
+// run: ticks actually delivered vs cycles simulated, the share of
+// cycles jumped without stepping, and how well the request pool kept
+// the hot path allocation-free. The same numbers are exported as
+// engine.* gauges when telemetry is on.
+func engineReport(sys *core.System) {
+	er := sys.EngineReport()
+	if er.Cycles == 0 {
+		return
+	}
+	fmt.Printf("engine: %d ticks / %d cycles (%.2f ticks/cycle), %d cycles skipped (%.1f%%)\n",
+		er.TicksDelivered, er.Cycles, er.TicksPerCycle, er.CyclesSkipped, 100*er.SkipRatio)
+	if er.PoolGets > 0 {
+		fmt.Printf("  request pool: %d requests, %.1f%% served from the free list\n",
+			er.PoolGets, 100*er.PoolHitRate)
+	}
 }
 
 // report prints the collected metrics.

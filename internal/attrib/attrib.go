@@ -111,6 +111,13 @@ type Tag struct {
 	Precharge sim.Cycle
 	Activate  sim.Cycle
 	CAS       sim.Cycle
+
+	// dead marks a tag whose lifecycle Finish/FinishMerged already
+	// closed; it sits on the collector's free list until NewTag
+	// resurrects it. Guards against a tag being finished twice, which
+	// would put it on the free list twice and silently share one tag
+	// between two future misses.
+	dead bool
 }
 
 // Alloc stamps MSHR allocation completion.
@@ -276,6 +283,13 @@ type Collector struct {
 	// accumulated; the conservation tests use it to assert the stage
 	// sum equals the end-to-end latency on live traffic.
 	Check func(t *Tag)
+
+	// free recycles finished tags: a tag's lifecycle ends inside
+	// Finish/FinishMerged (callers drop their reference immediately
+	// after), so the collector reuses the object for the next miss.
+	// Confined to the single simulation goroutine, like the rest of
+	// the collector's mutable state.
+	free []*Tag
 }
 
 // NewCollector registers the attribution metrics for a machine of the
@@ -329,7 +343,24 @@ func (c *Collector) NewTag(now sim.Cycle, core int) *Tag {
 	if c == nil {
 		return nil
 	}
+	if n := len(c.free); n > 0 {
+		t := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*t = Tag{Core: core, MC: -1, Rank: -1, MissAt: now}
+		return t
+	}
 	return &Tag{Core: core, MC: -1, Rank: -1, MissAt: now}
+}
+
+// recycle puts a finished tag on the free list. Finishing the same tag
+// twice panics rather than corrupting two future misses' accounting.
+func (c *Collector) recycle(t *Tag) {
+	if t.dead {
+		panic("attrib: tag finished twice")
+	}
+	t.dead = true
+	c.free = append(c.free, t)
 }
 
 // Finish closes a primary miss's lifecycle at cycle done and folds its
@@ -374,6 +405,7 @@ func (c *Collector) Finish(t *Tag, done sim.Cycle) {
 			c.rankDRAM[idx].Add(uint64(st[StageDRAM]))
 		}
 	}
+	c.recycle(t)
 }
 
 // FinishMerged closes a secondary (merged) miss: only its end-to-end
@@ -385,6 +417,7 @@ func (c *Collector) FinishMerged(t *Tag, done sim.Cycle) {
 	t.DoneAt = done
 	c.merged.Inc()
 	c.mergedLat.Observe(int(t.Total()))
+	c.recycle(t)
 }
 
 // StageSummary is one stage's line of the breakdown.

@@ -284,3 +284,32 @@ func TestStageString(t *testing.T) {
 		t.Fatalf("out-of-range stage = %q", s)
 	}
 }
+
+// TestTagPoolReuseAndDoubleFinishPanics pins the pooled tag lifecycle:
+// a finished tag returns to the collector's free list and is reused
+// fully reset, and finishing the same tag twice panics rather than
+// silently corrupting two future misses' accounting.
+func TestTagPoolReuseAndDoubleFinishPanics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, 2, 2, 2)
+	tag := c.NewTag(10, 1)
+	tag.Probe(12)
+	tag.RowHit = true
+	c.Finish(tag, 40)
+
+	reused := c.NewTag(50, 0)
+	if reused != tag {
+		t.Fatal("NewTag after Finish did not reuse the pooled tag")
+	}
+	if reused.MissAt != 50 || reused.Core != 0 || reused.RowHit || reused.ProbeAt != 0 {
+		t.Fatalf("recycled tag not reset: %+v", reused)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Finish did not panic")
+		}
+	}()
+	c.FinishMerged(reused, 60)
+	c.Finish(reused, 70)
+}

@@ -69,6 +69,16 @@ type L1 struct {
 	// installed that demand has not yet touched.
 	pfPending map[mem.Addr]struct{}
 	pfStats   prefetch.Stats
+
+	// handle, when set, lets the controller sleep whenever the retry
+	// queue is empty — Tick's only job is retrying rejected requests.
+	handle *sim.TickHandle
+
+	// onDone is the prebuilt completion callback shared by every
+	// request this controller issues (no per-miss closure), and
+	// freeMiss recycles l1Miss nodes (reusing their waiter slices).
+	onDone   func(*mem.Request, sim.Cycle)
+	freeMiss []*l1Miss
 }
 
 // L1Params configures a controller.
@@ -106,8 +116,36 @@ func NewL1(p L1Params) *L1 {
 	if p.Prefetch {
 		l.stride = prefetch.NewStride(64)
 	}
+	l.onDone = l.handleDone
 	return l
 }
+
+// SetHandle arms the idle fast-path: the controller sleeps while its
+// retry queue is empty (the only per-cycle work it has) and wakes when
+// the level below rejects a request.
+func (l *L1) SetHandle(h *sim.TickHandle) {
+	l.handle = h
+	h.SleepUntil(sim.FarFuture)
+}
+
+// newMiss returns a recycled (or fresh) miss node.
+func (l *L1) newMiss(ln mem.Addr, prefetch, dirty bool) *l1Miss {
+	if n := len(l.freeMiss); n > 0 {
+		m := l.freeMiss[n-1]
+		l.freeMiss[n-1] = nil
+		l.freeMiss = l.freeMiss[:n-1]
+		waiters := m.waiters[:0]
+		for i := range m.waiters {
+			m.waiters[i] = nil
+		}
+		*m = l1Miss{line: ln, waiters: waiters, prefetch: prefetch, dirty: dirty}
+		return m
+	}
+	return &l1Miss{line: ln, prefetch: prefetch, dirty: dirty}
+}
+
+// releaseMiss recycles a miss node the controller no longer references.
+func (l *L1) releaseMiss(m *l1Miss) { l.freeMiss = append(l.freeMiss, m) }
 
 // Stats returns the counters.
 func (l *L1) Stats() *L1Stats { return &l.stats }
@@ -156,18 +194,17 @@ func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done fu
 		return Blocked
 	}
 	l.stats.Misses++
-	m := &l1Miss{line: ln, waiters: []func(sim.Cycle){done}, dirty: store}
+	m := l.newMiss(ln, false, store)
+	m.waiters = append(m.waiters, done)
 	l.misses[ln] = m
-	r := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Read, // write-allocate: fetch the line even for stores
-		Addr: addr,
-		Line: ln,
-		Core: l.core,
-		PC:   pc,
-		Born: now,
-	}
-	r.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	r := l.ids.NewRequest()
+	r.Kind = mem.Read // write-allocate: fetch the line even for stores
+	r.Addr = addr
+	r.Line = ln
+	r.Core = l.core
+	r.PC = pc
+	r.Born = now
+	r.OnDone = l.onDone
 	l.send(r, now)
 	l.train(now, pc, addr)
 	return Miss
@@ -200,17 +237,15 @@ func (l *L1) maybePrefetch(now sim.Cycle, pc uint64, addr mem.Addr) {
 	}
 	l.stats.Prefetches++
 	l.pfStats.Issued++
-	l.misses[ln] = &l1Miss{line: ln, prefetch: true}
-	r := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Prefetch,
-		Addr: addr,
-		Line: ln,
-		Core: l.core,
-		PC:   pc,
-		Born: now,
-	}
-	r.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	l.misses[ln] = l.newMiss(ln, true, false)
+	r := l.ids.NewRequest()
+	r.Kind = mem.Prefetch
+	r.Addr = addr
+	r.Line = ln
+	r.Core = l.core
+	r.PC = pc
+	r.Born = now
+	r.OnDone = l.onDone
 	l.send(r, now)
 }
 
@@ -236,19 +271,18 @@ func (l *L1) drop(r *mem.Request, now sim.Cycle) {
 		l.stats.PrefetchDrops++
 		l.pfStats.Drops++
 		delete(l.misses, r.Line)
+		l.releaseMiss(m)
 		return
 	}
 	// A demand access merged in: the data is needed after all.
-	demand := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Read,
-		Addr: r.Addr,
-		Line: r.Line,
-		Core: l.core,
-		PC:   r.PC,
-		Born: now,
-	}
-	demand.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleDone(req, at) }
+	demand := l.ids.NewRequest()
+	demand.Kind = mem.Read
+	demand.Addr = r.Addr
+	demand.Line = r.Line
+	demand.Core = l.core
+	demand.PC = r.PC
+	demand.Born = now
+	demand.OnDone = l.onDone
 	l.send(demand, now)
 }
 
@@ -275,14 +309,12 @@ func (l *L1) fill(ln mem.Addr, now sim.Cycle) {
 	}
 	if evicted && victimDirty {
 		l.stats.Writebacks++
-		wb := &mem.Request{
-			ID:   l.ids.Next(),
-			Kind: mem.Writeback,
-			Addr: victim,
-			Line: victim,
-			Core: l.core,
-			Born: now,
-		}
+		wb := l.ids.NewRequest()
+		wb.Kind = mem.Writeback
+		wb.Addr = victim
+		wb.Line = victim
+		wb.Core = l.core
+		wb.Born = now
 		l.send(wb, now)
 	}
 	for _, w := range m.waiters {
@@ -290,17 +322,20 @@ func (l *L1) fill(ln mem.Addr, now sim.Cycle) {
 			w(now)
 		}
 	}
+	l.releaseMiss(m)
 }
 
 func (l *L1) send(r *mem.Request, now sim.Cycle) {
 	if !l.below.Submit(r, now) {
 		l.retry = append(l.retry, r)
+		l.handle.Wake()
 	}
 }
 
 // Tick retries requests the level below rejected.
 func (l *L1) Tick(now sim.Cycle) {
 	if len(l.retry) == 0 {
+		l.handle.SleepUntil(sim.FarFuture)
 		return
 	}
 	kept := l.retry[:0]
@@ -310,6 +345,9 @@ func (l *L1) Tick(now sim.Cycle) {
 		}
 	}
 	l.retry = kept
+	if len(l.retry) == 0 {
+		l.handle.SleepUntil(sim.FarFuture)
+	}
 }
 
 // PrefetchStats reports the L1 prefetcher's issue/usefulness counters.

@@ -103,6 +103,19 @@ type L2 struct {
 	// attrib (nil when disabled) opens a cycle-accounting tag on every
 	// demand miss and folds it back in at the fill.
 	attrib *attrib.Collector
+
+	// handle, when set, lets the L2 sleep until its next self-scheduled
+	// event or queued work; Submit and queueWriteback wake it.
+	handle *sim.TickHandle
+
+	// Prebuilt callbacks so the hot path schedules events and issues
+	// reads without allocating closures: completeReq finishes a request
+	// at its scheduled cycle, issueEntry (re)issues an MSHR entry, and
+	// onFill receives a returning line (its entry rides in the derived
+	// read's Owner/OwnerIdx fields).
+	completeReq func(arg any, at sim.Cycle)
+	issueEntry  func(arg any, at sim.Cycle)
+	onFill      func(*mem.Request, sim.Cycle)
 }
 
 // bankQueueCap bounds each bank's input queue; a full queue pushes back
@@ -166,7 +179,24 @@ func NewL2(p L2Params) *L2 {
 	if cfg.L2Prefetch {
 		l.stride = prefetch.NewStride(256)
 	}
+	l.completeReq = func(arg any, at sim.Cycle) { arg.(*mem.Request).Complete(at) }
+	l.issueEntry = func(arg any, at sim.Cycle) {
+		e := arg.(*mshr.Entry)
+		l.issue(l.mshrFor(e.Line), e)
+	}
+	l.onFill = func(req *mem.Request, at sim.Cycle) {
+		l.handleFill(req.OwnerIdx, req.Owner.(*mshr.Entry), req, at)
+	}
 	return l
+}
+
+// SetHandle arms the idle fast-path: after each Tick the L2 sleeps
+// until its earliest pending event or queued request could act, staying
+// awake whenever any per-cycle retry loop (set-aside misses, deferred
+// MC submissions) has work.
+func (l *L2) SetHandle(h *sim.TickHandle) {
+	l.handle = h
+	h.SleepUntil(sim.FarFuture)
 }
 
 // MSHRBanks exposes the MSHR files (for the dynamic resizer and stats).
@@ -278,6 +308,7 @@ func (l *L2) Submit(r *mem.Request, now sim.Cycle) bool {
 	if !b.inq.Push(r) {
 		return false
 	}
+	l.handle.Wake()
 	return true
 }
 
@@ -292,6 +323,48 @@ func (l *L2) Tick(now sim.Cycle) {
 		l.tickBank(b, now)
 	}
 	l.retryMCs(now)
+	l.sched(now)
+}
+
+// sched chooses how long the L2 can sleep after ticking at now. Any
+// per-cycle retry loop with work pins it awake: set-aside misses
+// re-probe the array every cycle (a deliberate LRU side effect), and
+// deferred MC submissions retry — and count rejects — every cycle.
+// Otherwise the next work is the earliest pending event or the
+// earliest cycle a non-empty bank queue can be served.
+func (l *L2) sched(now sim.Cycle) {
+	if l.handle == nil {
+		return
+	}
+	for m := range l.mshrWait {
+		if len(l.mshrWait[m]) > 0 {
+			l.handle.SleepUntil(now + 1)
+			return
+		}
+	}
+	for m := range l.mcs {
+		if len(l.unissued[m]) > 0 || len(l.wbQ[m]) > 0 {
+			l.handle.SleepUntil(now + 1)
+			return
+		}
+	}
+	wake := sim.FarFuture
+	if c, ok := l.events.NextAt(); ok {
+		wake = c
+	}
+	for _, b := range l.banks {
+		if b.inq.Len() == 0 {
+			continue
+		}
+		c := now + 1
+		if b.busy > c {
+			c = b.busy
+		}
+		if c < wake {
+			wake = c
+		}
+	}
+	l.handle.SleepUntil(wake)
 }
 
 // drainMSHRWaiters retries set-aside misses in arrival order as MSHR
@@ -305,14 +378,14 @@ func (l *L2) drainMSHRWaiters(now sim.Cycle) {
 			if l.banks[l.bankFor(r.Line)].arr.Lookup(l.toLocal(r.Line)) {
 				l.stats.Hits++
 				l.notePrefetchUse(r.Line)
-				req := r
 				done := now + l.latency
 				// The miss resolved while set aside: another request
 				// filled the line, so the whole lifetime was MSHR wait
 				// (the tag never reached an MC and telescopes to the
 				// MSHR stage).
-				l.attrib.Finish(req.Attrib, done)
-				l.events.At(done, func() { req.Complete(done) })
+				l.attrib.Finish(r.Attrib, done)
+				r.Attrib = nil
+				l.events.AtCall(done, l.completeReq, r)
 				q = q[1:]
 				continue
 			}
@@ -345,15 +418,13 @@ func (l *L2) tickBank(b *l2bank, now sim.Cycle) {
 		}
 		// Not present: forward a fresh writeback toward memory
 		// (non-inclusive victim) and finish the original.
-		down := &mem.Request{
-			ID:   l.ids.Next(),
-			Kind: mem.Writeback,
-			Addr: r.Addr,
-			Line: r.Line,
-			Core: -1,
-			Born: now,
-		}
-		l.queueWriteback(down)
+		down := l.ids.NewRequest()
+		down.Kind = mem.Writeback
+		down.Addr = r.Addr
+		down.Line = r.Line
+		down.Core = -1
+		down.Born = now
+		l.queueWriteback(down, now)
 		r.Complete(now)
 		return
 	default:
@@ -363,9 +434,7 @@ func (l *L2) tickBank(b *l2bank, now sim.Cycle) {
 			b.busy = now + 1
 			l.stats.Hits++
 			l.notePrefetchUse(r.Line)
-			req := r
-			done := now + l.latency
-			l.events.At(done, func() { req.Complete(done) })
+			l.events.AtCall(now+l.latency, l.completeReq, r)
 			l.trainPrefetch(now, r)
 			return
 		}
@@ -445,8 +514,7 @@ func (l *L2) missPath(r *mem.Request, now sim.Cycle) bool {
 		}
 	}
 	// Issue toward the MC once the MSHR access completes.
-	ready := l.mshrBusy[m]
-	l.events.At(ready, func() { l.issue(m, entry) })
+	l.events.AtCall(l.mshrBusy[m], l.issueEntry, entry)
 	return true
 }
 
@@ -463,23 +531,24 @@ func (l *L2) issue(mshrIdx int, e *mshr.Entry) {
 		// Prefetch-originated entries always have a primary; defensive.
 		return
 	}
-	read := &mem.Request{
-		ID:     l.ids.Next(),
-		Kind:   mem.Read,
-		Addr:   primary.Addr,
-		Line:   e.Line,
-		Core:   primary.Core,
-		PC:     primary.PC,
-		Born:   primary.Born,
-		Traced: primary.Traced,
-		Attrib: primary.Attrib,
-	}
-	read.OnDone = func(req *mem.Request, at sim.Cycle) { l.handleFill(mshrIdx, e, req, at) }
+	read := l.ids.NewRequest()
+	read.Kind = mem.Read
+	read.Addr = primary.Addr
+	read.Line = e.Line
+	read.Core = primary.Core
+	read.PC = primary.PC
+	read.Born = primary.Born
+	read.Traced = primary.Traced
+	read.Attrib = primary.Attrib
+	read.Owner = e
+	read.OwnerIdx = mshrIdx
+	read.OnDone = l.onFill
 	if l.mcs[mcIdx].Submit(read, l.now) {
 		e.Issued = true
 	} else {
 		l.stats.MCRejects++
 		l.unissued[mcIdx] = append(l.unissued[mcIdx], unissuedEntry{mshrIdx: mshrIdx, e: e})
+		l.ids.Recycle(read) // a fresh read is built on each retry
 	}
 }
 
@@ -522,15 +591,13 @@ func (l *L2) handleFill(mshrIdx int, e *mshr.Entry, read *mem.Request, at sim.Cy
 	if evicted && victimDirty {
 		l.stats.WritebacksOut++
 		victimLine := l.toGlobal(victim, bankIdx)
-		wb := &mem.Request{
-			ID:   l.ids.Next(),
-			Kind: mem.Writeback,
-			Addr: victimLine,
-			Line: victimLine,
-			Core: -1,
-			Born: at,
-		}
-		l.queueWriteback(wb)
+		wb := l.ids.NewRequest()
+		wb.Kind = mem.Writeback
+		wb.Addr = victimLine
+		wb.Line = victimLine
+		wb.Core = -1
+		wb.Born = at
+		l.queueWriteback(wb, at)
 	}
 	// Prefetch accounting: a prefetch-initiated fill that a demand miss
 	// merged into was useful immediately; otherwise remember the line
@@ -590,10 +657,14 @@ func (l *L2) PrefetchStats() prefetch.Stats {
 }
 
 // queueWriteback routes a writeback to its MC, queueing on a full MRQ.
-func (l *L2) queueWriteback(wb *mem.Request) {
+// at is the current cycle: callers may run from another component's
+// tick (a fill during an MC's tick) while l.now is stale from the L2's
+// last tick.
+func (l *L2) queueWriteback(wb *mem.Request, at sim.Cycle) {
 	m := l.mcFor(wb.Line)
-	if !l.mcs[m].Submit(wb, l.now) {
+	if !l.mcs[m].Submit(wb, at) {
 		l.wbQ[m] = append(l.wbQ[m], wb)
+		l.handle.Wake()
 	}
 }
 
@@ -621,20 +692,18 @@ func (l *L2) trainPrefetch(now sim.Cycle, r *mem.Request) {
 	}
 	l.stats.Prefetches++
 	l.pfStats.Issued++
-	pf := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Prefetch,
-		Addr: cand,
-		Line: line,
-		Core: -1,
-		PC:   r.PC,
-		Born: now,
-	}
+	pf := l.ids.NewRequest()
+	pf.Kind = mem.Prefetch
+	pf.Addr = cand
+	pf.Line = line
+	pf.Core = -1
+	pf.PC = r.PC
+	pf.Born = now
 	entry, ok2 := f.Allocate(line, pf)
 	if !ok2 {
 		return
 	}
-	l.events.At(now+l.mshrLat, func() { l.issue(m, entry) })
+	l.events.AtCall(now+l.mshrLat, l.issueEntry, entry)
 }
 
 // ResetStats zeroes the L2 counters, including per-core miss accounting

@@ -68,6 +68,7 @@ func (s *System) CheckInvariants() error {
 // meaningful).
 func (s *System) DrainQuiesce(maxCycles int64) bool {
 	for _, c := range s.Cores {
+		c.FlushIdle(s.Engine.Now())
 		c.Halt()
 	}
 	quiet := func() bool {

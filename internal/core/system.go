@@ -69,6 +69,9 @@ type System struct {
 	// names for generator-driven runs, file names for trace replays).
 	Sources []cpu.UOpSource
 	Labels  []string
+
+	// ids is the shared request ID source and object pool.
+	ids *mem.IDSource
 }
 
 // NewSystem builds a machine running the named benchmarks, one per core.
@@ -191,6 +194,7 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	// L2 submits to the layer's fronts, which route hits over the
 	// stacked MCs above and misses over the narrow backing channel.
 	ids := &mem.IDSource{}
+	s.ids = ids
 	ports := make([]cache.Port, len(s.MCs))
 	for i, mc := range s.MCs {
 		ports[i] = mc
@@ -317,21 +321,23 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	}
 
 	// Tick order: cores issue first, then L1 retries, then the L2, then
-	// the controllers, then the tuner. Controllers attach with an idle
-	// fast-path handle so FSB/DRAM-domain cycles with provably no work
-	// (empty MRQ off-edge, no completion or refresh due) are skipped.
+	// the controllers, then the tuner. Every component registers with an
+	// idle fast-path handle so cycles it can prove it has no work on are
+	// never visited; completion callbacks always flow from a
+	// later-registered component to an earlier one, so a Wake during
+	// cycle T reaches the sleeper on T+1 exactly as a full tick would.
 	for _, c := range s.Cores {
-		s.Engine.Register(c)
+		c.SetHandle(s.Engine.RegisterEvery(1, 0, c))
 	}
 	for _, l1 := range s.L1s {
-		s.Engine.Register(l1)
+		l1.SetHandle(s.Engine.RegisterEvery(1, 0, l1))
 	}
 	for _, il1 := range s.IL1s {
-		s.Engine.Register(il1)
+		il1.SetHandle(s.Engine.RegisterEvery(1, 0, il1))
 	}
-	s.Engine.Register(s.L2)
+	s.L2.SetHandle(s.Engine.RegisterEvery(1, 0, s.L2))
 	if s.Stack != nil {
-		s.Engine.Register(s.Stack)
+		s.Stack.SetHandle(s.Engine.RegisterEvery(1, 0, s.Stack))
 	}
 	for _, mc := range s.MCs {
 		mc.Attach(s.Engine)
@@ -340,9 +346,41 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		s.Backing.Attach(s.Engine)
 	}
 	if s.Resizer != nil {
-		s.Engine.Register(sim.TickFunc(s.Resizer.Tick))
+		s.Resizer.SetHandle(s.Engine.RegisterEvery(1, 0, s.Resizer))
 	}
 	return s, nil
+}
+
+// EngineReport summarizes the event-driven core's work avoidance and
+// the request pool's effectiveness over the simulation so far.
+type EngineReport struct {
+	Cycles         uint64 // cycles simulated
+	TicksDelivered uint64 // component Tick calls actually made
+	CyclesSkipped  uint64 // cycles jumped without visiting any component
+	SkipRatio      float64
+	TicksPerCycle  float64
+	PoolGets       uint64 // requests handed out
+	PoolHits       uint64 // ... that reused a pooled object
+	PoolPuts       uint64 // completed requests returned to the pool
+	PoolHitRate    float64
+}
+
+// EngineReport gathers the efficiency counters.
+func (s *System) EngineReport() EngineReport {
+	r := EngineReport{
+		Cycles:         uint64(s.Engine.Now()),
+		TicksDelivered: s.Engine.TicksDelivered(),
+		CyclesSkipped:  uint64(s.Engine.CyclesSkipped()),
+	}
+	r.PoolGets, r.PoolHits, r.PoolPuts = s.ids.PoolStats()
+	if r.Cycles > 0 {
+		r.SkipRatio = float64(r.CyclesSkipped) / float64(r.Cycles)
+		r.TicksPerCycle = float64(r.TicksDelivered) / float64(r.Cycles)
+	}
+	if r.PoolGets > 0 {
+		r.PoolHitRate = float64(r.PoolHits) / float64(r.PoolGets)
+	}
+	return r
 }
 
 // AttachTelemetry wires tel through every component and registers the
@@ -381,6 +419,7 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 	}
 	s.Faults.Instrument(reg)
 	s.instrumentEnergy(reg)
+	s.instrumentEngine(reg)
 	if tel.Sampler != nil {
 		// Registered last so each sample reflects the end of its cycle,
 		// and on the sampler's own interval so non-boundary cycles skip
@@ -404,6 +443,17 @@ func (s *System) AttachAttrib(col *attrib.Collector) {
 // collector (disabled).
 func (s *System) NewAttribCollector(reg *telemetry.Registry) *attrib.Collector {
 	return attrib.NewCollector(reg, s.Cfg.Cores, s.Cfg.MCs, s.Cfg.RanksPerMC())
+}
+
+// instrumentEngine registers the "engine.*" efficiency gauges: how much
+// tick work the skip-to-next-event engine avoided and how well the
+// request pool recycles.
+func (s *System) instrumentEngine(reg *telemetry.Registry) {
+	reg.GaugeFunc("engine.ticks_delivered", func() float64 { return float64(s.Engine.TicksDelivered()) })
+	reg.GaugeFunc("engine.cycles_skipped", func() float64 { return float64(s.Engine.CyclesSkipped()) })
+	reg.GaugeFunc("engine.skip_ratio", func() float64 { return s.EngineReport().SkipRatio })
+	reg.GaugeFunc("engine.ticks_per_cycle", func() float64 { return s.EngineReport().TicksPerCycle })
+	reg.GaugeFunc("engine.pool_hit_rate", func() float64 { return s.EngineReport().PoolHitRate })
 }
 
 // dramActivity sums the stacked-channel DRAM counters accumulated since
@@ -488,6 +538,9 @@ func (s *System) ResetStats() {
 	s.statsSince = s.Engine.Now()
 	s.pt.resetStats()
 	for i := range s.Cores {
+		// Close any idle span in flight so the skipped cycles land in
+		// the warmup counters about to be zeroed, not the measurement.
+		s.Cores[i].FlushIdle(s.Engine.Now())
 		s.Cores[i].ResetStats()
 		s.L1s[i].ResetStats()
 		s.IL1s[i].ResetStats()
@@ -595,6 +648,7 @@ func (s *System) Collect() Metrics {
 	}
 	missesBy := s.L2.DemandMissesByCore()
 	for i, c := range s.Cores {
+		c.FlushIdle(s.Engine.Now()) // make sleep-skipped cycles visible
 		st := c.Stats()
 		m.Benchmarks = append(m.Benchmarks, s.Labels[i])
 		m.IPC = append(m.IPC, st.IPC())

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -14,12 +17,22 @@ import (
 // tick-everything behavior — must produce bit-identical Metrics.
 //
 // Baseline2D stresses the divider-4 FSB domain, QuadMC the multi-MC
-// wake logic, and the SmartRefresh variant the refresh wake source.
+// wake logic, the SmartRefresh variant the refresh wake source, Fast3D
+// the ratio-1 stacked controllers, and the stack-cache variants the
+// stacked-layer sleep discipline (SRAM tag events, miss forwarding,
+// and the off-chip backing channel in both cache and memcache modes).
 func TestTickSchedulingParity(t *testing.T) {
 	smart := config.QuadMC()
 	smart.SmartRefresh = true
 	smart.Name = "3D-4mc-16rank-4rb-smartref"
-	configs := []*config.Config{config.Baseline2D(), config.QuadMC(), smart}
+	configs := []*config.Config{
+		config.Baseline2D(),
+		config.QuadMC(),
+		smart,
+		config.Fast3D(),
+		config.Fast3D().WithStackCache(config.StackCache, 64),
+		config.Fast3D().WithStackCache(config.StackMemCache, 64),
+	}
 	for _, cfg := range configs {
 		cfg.WarmupCycles = 5_000
 		cfg.MeasureCycles = 20_000
@@ -40,5 +53,60 @@ func TestTickSchedulingParity(t *testing.T) {
 		if !reflect.DeepEqual(full, fast) {
 			t.Errorf("%s: idle-skip scheduling changed results:\nfull-tick: %+v\nscheduled: %+v", cfg.Name, full, fast)
 		}
+	}
+}
+
+// TestCheckpointAcrossSkippedRegion pins that checkpoint/resume and the
+// idle-skip engine compose: checkpoint boundaries land on exact cycles
+// even when the run loop is jumping idle spans, the digest taken at
+// such a boundary matches the replayed one, and the final metrics are
+// bit-identical to an uninterrupted run. The config and workload are
+// chosen so that skipping is actually happening (asserted below) —
+// a checkpoint cadence finer than the typical idle span forces many
+// boundaries to split spans the engine would otherwise jump whole.
+func TestCheckpointAcrossSkippedRegion(t *testing.T) {
+	cfg := config.Baseline2D()
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 28_000
+	benchmarks := []string{"mcf", "libquantum"}
+
+	uninterrupted, err := NewSystem(cfg, benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uninterrupted.Run()
+	if uninterrupted.Engine.CyclesSkipped() == 0 {
+		t.Fatal("workload produced no skipped cycles; test exercises nothing")
+	}
+	wantDigest := uninterrupted.Digest()
+
+	path := filepath.Join(t.TempDir(), "skip.ckpt")
+	interrupted, err := NewSystem(cfg, benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	interrupted.Engine.Schedule(17_501, cancel)
+	if _, err := interrupted.RunCheckpointed(ctx, CheckpointPlan{Every: 1_000, Path: path}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want Canceled", err)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewSystemFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunCheckpointed(context.Background(), CheckpointPlan{Every: 1_000, Path: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume across skipped regions diverged:\n%+v\nvs\n%+v", got, want)
+	}
+	if d := resumed.Digest(); d != wantDigest {
+		t.Fatalf("resumed digest %#x, uninterrupted %#x", d, wantDigest)
 	}
 }

@@ -97,7 +97,8 @@ type Core struct {
 	// Fetch state: the μop waiting on instruction supply, the last
 	// instruction line confirmed resident, and whether an IL1 fill is
 	// outstanding.
-	pendingOp        *UOp
+	pendingOp        UOp
+	hasPending       bool
 	lastFetchLine    mem.Addr
 	pendingFetchLine mem.Addr
 	fetchWait        bool
@@ -115,7 +116,36 @@ type Core struct {
 	frozen          bool
 	halted          bool
 	committedTotal  uint64
+
+	// Idle fast-path state (active only once SetHandle is called).
+	// While the core sleeps, the per-cycle statistics a full-tick run
+	// would have counted (Cycles plus one stall counter, fixed across
+	// the span by construction) are caught up lazily: idleReason is
+	// snapshotted when the sleep is chosen, and the skipped cycles are
+	// settled on the next Tick or by FlushIdle.
+	handle     *sim.TickHandle
+	lastTick   sim.Cycle
+	idleReason idleReason
+
+	// fillFns are prebuilt per-ROB-slot L1 fill callbacks, so issuing a
+	// load allocates no closure. fillSeq[i] records the μop sequence the
+	// slot held at issue, preserving the stale-fill guard. fetchDone is
+	// the single prebuilt IL1 fill callback (fetchWait serializes
+	// instruction fills, so one is enough).
+	fillFns   []func(sim.Cycle)
+	fillSeq   []uint64
+	fetchDone func(sim.Cycle)
 }
+
+// idleReason is the stall statistic a sleeping core would have counted
+// on each skipped cycle had it ticked.
+type idleReason uint8
+
+const (
+	idleNone  idleReason = iota // no per-cycle stall counter (halted, or dispatch time-gated)
+	idleROB                     // dispatch blocked by a full ROB
+	idleFetch                   // dispatch waiting on an IL1 fill
+)
 
 // Params assembles a core.
 type Params struct {
@@ -136,7 +166,7 @@ func New(p Params) *Core {
 	if p.Cfg == nil || p.L1 == nil || p.DTLB == nil || p.Pages == nil || p.Source == nil {
 		panic("cpu: New missing a required component")
 	}
-	return &Core{
+	c := &Core{
 		id:            p.ID,
 		cfg:           p.Cfg,
 		l1:            p.L1,
@@ -149,7 +179,36 @@ func New(p Params) *Core {
 		lastMemIdx:    -1,
 		lastFetchLine: ^mem.Addr(0),
 	}
+	c.fillSeq = make([]uint64, len(c.rob))
+	c.fillFns = make([]func(sim.Cycle), len(c.rob))
+	for i := range c.fillFns {
+		idx := i
+		c.fillFns[idx] = func(at sim.Cycle) {
+			// Guard against the ROB slot having been recycled. A load's
+			// slot cannot be reused while its fill is outstanding (it
+			// must complete to commit), so at most one fill per slot is
+			// in flight and comparing against the issue-time sequence
+			// is exact.
+			if c.rob[idx].seq == c.fillSeq[idx] {
+				c.rob[idx].state = stDone
+			}
+			c.handle.Wake()
+		}
+	}
+	c.fetchDone = func(at sim.Cycle) {
+		c.fetchWait = false
+		c.lastFetchLine = c.pendingFetchLine
+		c.handle.Wake()
+	}
+	return c
 }
+
+// SetHandle arms the idle fast-path: with an engine tick handle the
+// core sleeps through cycles it can prove are stalls (waiting on a
+// fill, a TLB walk, a front-end refill, or a full ROB) and settles the
+// per-cycle stall statistics lazily. Without it, behaviour is the seed
+// tick-every-cycle model.
+func (c *Core) SetHandle(h *sim.TickHandle) { c.handle = h }
 
 // Stats returns the counters.
 func (c *Core) Stats() *Stats { return &c.stats }
@@ -189,12 +248,52 @@ func (c *Core) Committed() uint64 { return c.committedTotal }
 
 // Halt stops the front end: no new μops dispatch, but queued work keeps
 // issuing and retiring so in-flight memory traffic drains (used by
-// System.DrainQuiesce and the invariant checker).
-func (c *Core) Halt() { c.halted = true }
+// System.DrainQuiesce and the invariant checker). Callers reading
+// statistics around a halt should FlushIdle first; Halt wakes the core
+// so any sleep chosen under pre-halt dispatch rules is recomputed.
+func (c *Core) Halt() {
+	c.halted = true
+	c.handle.Wake()
+}
+
+// FlushIdle settles the lazily-counted stall statistics of a sleeping
+// core up to and including cycle now, exactly as if it had ticked on
+// every skipped cycle. Anything that reads or resets per-core stats
+// mid-run (warmup boundary, collection, drain) must flush first.
+func (c *Core) FlushIdle(now sim.Cycle) {
+	if c.handle == nil || now <= c.lastTick {
+		return
+	}
+	c.applyIdle(now - c.lastTick)
+	c.lastTick = now
+}
+
+// applyIdle counts cycles of a skipped idle span: each would have
+// incremented Cycles plus at most one stall counter, fixed across the
+// span because nothing that decides the stall can change while the
+// core sleeps.
+func (c *Core) applyIdle(cycles sim.Cycle) {
+	if cycles <= 0 || c.frozen {
+		return
+	}
+	c.stats.Cycles += uint64(cycles)
+	switch c.idleReason {
+	case idleROB:
+		c.stats.ROBStall += uint64(cycles)
+	case idleFetch:
+		c.stats.FetchStall += uint64(cycles)
+	}
+}
 
 // Tick advances the core one cycle: retire, issue memory operations,
 // then dispatch new μops.
 func (c *Core) Tick(now sim.Cycle) {
+	if c.handle != nil {
+		if skipped := now - c.lastTick - 1; skipped > 0 {
+			c.applyIdle(skipped)
+		}
+		c.lastTick = now
+	}
 	if !c.frozen {
 		c.stats.Cycles++
 	}
@@ -203,6 +302,87 @@ func (c *Core) Tick(now sim.Cycle) {
 	if !c.halted {
 		c.dispatch(now)
 	}
+	if c.handle != nil {
+		c.sched(now)
+	}
+}
+
+// peekDone is entryDone without the state write: sched must not mutate
+// ROB entries a full-tick run would only have touched on a later cycle.
+func (c *Core) peekDone(i int, now sim.Cycle) bool {
+	e := &c.rob[i]
+	return e.state == stDone || (e.timed && now >= e.readyAt)
+}
+
+// sched decides how long the core can sleep after ticking at now, and
+// which stall statistic each skipped cycle would have counted. The
+// core stays awake (sleep target now+1) whenever any pipeline stage
+// could make progress — or must keep retrying a side-effectful access
+// (a Blocked L1 probes its MSHRs every cycle) — on the next cycle.
+func (c *Core) sched(now sim.Cycle) {
+	wake := sim.FarFuture
+
+	if c.occupancy > 0 {
+		e := &c.rob[c.head]
+		if e.state == stDone {
+			c.setIdle(now+1, idleNone) // commit has work next cycle
+			return
+		}
+		if e.timed && e.readyAt < wake {
+			wake = e.readyAt
+		}
+		// An untimed in-flight head completes via its fill callback,
+		// which wakes the core.
+	}
+
+	if len(c.memQ) > 0 {
+		e := &c.rob[c.memQ[0]]
+		switch {
+		case e.op.DependsOnPrev && e.prevMem >= 0 &&
+			c.rob[e.prevMem].seq == e.prevSeq && !c.peekDone(e.prevMem, now):
+			if p := &c.rob[e.prevMem]; p.timed && p.readyAt < wake {
+				wake = p.readyAt
+			}
+			// An untimed producer is a load in this core: its fill
+			// callback wakes us.
+		case e.readyAt > now: // paying a TLB walk
+			if e.readyAt < wake {
+				wake = e.readyAt
+			}
+		default:
+			// Issueable next cycle (port pressure, or a Blocked L1
+			// that must be re-probed every cycle): stay awake.
+			c.setIdle(now+1, idleNone)
+			return
+		}
+	}
+
+	reason := idleNone
+	if !c.halted {
+		switch {
+		case c.fetchStallUntil > now+1:
+			// Dispatch is time-gated and counts nothing while gated;
+			// cap the sleep there so the stall reason stays constant
+			// across the whole skipped span.
+			if c.fetchStallUntil < wake {
+				wake = c.fetchStallUntil
+			}
+		case c.occupancy >= len(c.rob):
+			reason = idleROB // wakes via the commit-head candidates above
+		case c.fetchWait:
+			reason = idleFetch // wakes via the IL1 fill callback
+		default:
+			c.setIdle(now+1, idleNone) // dispatch can make progress
+			return
+		}
+	}
+
+	c.setIdle(wake, reason)
+}
+
+func (c *Core) setIdle(wake sim.Cycle, reason idleReason) {
+	c.idleReason = reason
+	c.handle.SleepUntil(wake)
 }
 
 func (c *Core) commit(now sim.Cycle) {
@@ -315,13 +495,8 @@ func (c *Core) tryIssue(idx int, now sim.Cycle) bool {
 	if !c.frozen {
 		c.stats.Loads++
 	}
-	seq := e.seq
-	switch c.l1.Access(now, e.op.PC, paddr, false, func(at sim.Cycle) {
-		// Guard against the ROB slot having been recycled.
-		if c.rob[idx].seq == seq {
-			c.rob[idx].state = stDone
-		}
-	}) {
+	c.fillSeq[idx] = e.seq
+	switch c.l1.Access(now, e.op.PC, paddr, false, c.fillFns[idx]) {
 	case cache.Hit:
 		e.timed = true
 		e.readyAt = now + c.l1.Latency()
@@ -368,10 +543,7 @@ func (c *Core) fetched(op *UOp, now sim.Cycle) bool {
 		return false
 	}
 	paddr := c.pt.Translate(vaddr)
-	switch c.il1.Access(now, op.PC, paddr, false, func(at sim.Cycle) {
-		c.fetchWait = false
-		c.lastFetchLine = c.pendingFetchLine
-	}) {
+	switch c.il1.Access(now, op.PC, paddr, false, c.fetchDone) {
 	case cache.Hit:
 		c.lastFetchLine = line
 		return true
@@ -404,15 +576,15 @@ func (c *Core) dispatch(now sim.Cycle) {
 			}
 			return
 		}
-		if c.pendingOp == nil {
-			next := c.src.Next()
-			c.pendingOp = &next
+		if !c.hasPending {
+			c.pendingOp = c.src.Next()
+			c.hasPending = true
 		}
-		if !c.fetched(c.pendingOp, now) {
+		if !c.fetched(&c.pendingOp, now) {
 			return // waiting on instruction supply
 		}
-		op := *c.pendingOp
-		c.pendingOp = nil
+		op := c.pendingOp
+		c.hasPending = false
 		idx := c.tail
 		c.seq++
 		var prevSeq uint64

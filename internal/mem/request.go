@@ -82,10 +82,22 @@ type Request struct {
 	// attribution is disabled — every stamp on a nil tag is a no-op.
 	Attrib *attrib.Tag
 
+	// Owner and OwnerIdx carry an allocation-free completion context:
+	// a component that uses a single prebuilt OnDone function for many
+	// requests stores the per-miss state here (a pointer in Owner, an
+	// index in OwnerIdx) instead of capturing it in a fresh closure.
+	Owner    any
+	OwnerIdx int
+
 	// OnDone, if non-nil, runs exactly once when the request completes.
 	OnDone func(r *Request, now sim.Cycle)
 
 	done bool
+
+	// src, when the request came from an IDSource pool, is where
+	// Complete returns it; released guards against double release.
+	src      *IDSource
+	released bool
 }
 
 func (r *Request) String() string {
@@ -97,6 +109,11 @@ func (r *Request) Done() bool { return r.done }
 
 // Complete marks the request finished and fires OnDone. Calling Complete
 // twice panics: every request must have exactly one completion path.
+//
+// A request's lifecycle ends when Complete returns — no component reads
+// or writes a request after completing it — so pooled requests are
+// handed straight back to their IDSource free list here. Requests built
+// as literals (tests, cold paths) have no source and are left to the GC.
 func (r *Request) Complete(now sim.Cycle) {
 	if r.done {
 		panic(fmt.Sprintf("mem: double completion of %v", r))
@@ -105,13 +122,69 @@ func (r *Request) Complete(now sim.Cycle) {
 	if r.OnDone != nil {
 		r.OnDone(r, now)
 	}
+	if r.src != nil {
+		r.src.release(r)
+	}
 }
 
-// IDSource hands out unique request IDs.
-type IDSource struct{ next uint64 }
+// IDSource hands out unique request IDs and pools the Request objects
+// themselves. It is confined to one simulated System and accessed only
+// from the single simulation goroutine, so the free list needs no lock.
+type IDSource struct {
+	next uint64
+	free []*Request
+
+	gets, hits, puts uint64
+}
 
 // Next returns a fresh ID.
 func (s *IDSource) Next() uint64 {
 	s.next++
 	return s.next
+}
+
+// NewRequest returns a zeroed Request carrying a fresh ID, reusing a
+// previously completed one when the free list has any. The request
+// returns to the pool automatically when Complete runs; callers must
+// not retain it past that point.
+func (s *IDSource) NewRequest() *Request {
+	s.gets++
+	if n := len(s.free); n > 0 {
+		s.hits++
+		r := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*r = Request{ID: s.Next(), src: s}
+		return r
+	}
+	return &Request{ID: s.Next(), src: s}
+}
+
+// release returns a completed request to the free list. Releasing the
+// same request twice panics: it would hand two future misses the same
+// object and corrupt the simulation silently.
+func (s *IDSource) release(r *Request) {
+	if r.released {
+		panic(fmt.Sprintf("mem: double release of %v", r))
+	}
+	r.released = true
+	s.puts++
+	s.free = append(s.free, r)
+}
+
+// Recycle returns a pooled request that was built but never submitted
+// anywhere (e.g. a derived read the memory controller rejected, rebuilt
+// from scratch on the next attempt). The caller must hold the only
+// reference. Requests without a source are ignored.
+func (s *IDSource) Recycle(r *Request) {
+	if r.src != s {
+		return
+	}
+	s.release(r)
+}
+
+// PoolStats reports pool traffic: requests handed out, how many of
+// those reused a pooled object (hits), and completed requests returned.
+func (s *IDSource) PoolStats() (gets, hits, puts uint64) {
+	return s.gets, s.hits, s.puts
 }

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+
+	"stackedsim/internal/sim"
+)
+
+// TestRequestPoolReuse pins the pooled request lifecycle: a completed
+// request returns to its IDSource and the next NewRequest hands back
+// the same object, fully reset, with a fresh ID.
+func TestRequestPoolReuse(t *testing.T) {
+	var s IDSource
+	r1 := s.NewRequest()
+	r1.Kind = Writeback
+	r1.Addr = 0xdead
+	r1.Core = 3
+	r1.RowHit = true
+	r1.Owner = t
+	r1.OwnerIdx = 7
+	id1 := r1.ID
+	r1.Complete(10)
+
+	r2 := s.NewRequest()
+	if r2 != r1 {
+		t.Fatal("NewRequest after Complete did not reuse the pooled object")
+	}
+	if r2.ID == id1 {
+		t.Fatal("recycled request kept its old ID")
+	}
+	if r2.Kind != Read || r2.Addr != 0 || r2.Core != 0 || r2.RowHit ||
+		r2.Owner != nil || r2.OwnerIdx != 0 || r2.Done() {
+		t.Fatalf("recycled request not reset: %+v", r2)
+	}
+	gets, hits, puts := s.PoolStats()
+	if gets != 2 || hits != 1 || puts != 1 {
+		t.Fatalf("PoolStats = %d/%d/%d, want 2/1/1", gets, hits, puts)
+	}
+}
+
+// TestRequestDoubleCompletePanics pins that completing a request twice
+// is a simulator bug that fails loudly rather than corrupting the pool.
+func TestRequestDoubleCompletePanics(t *testing.T) {
+	var s IDSource
+	r := s.NewRequest()
+	r.Complete(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Complete did not panic")
+		}
+	}()
+	r.Complete(2)
+}
+
+// TestRequestCompleteRunsOnDoneBeforeRelease pins that OnDone observes
+// the request's fields intact: the release to the pool happens only
+// after the callback returns.
+func TestRequestCompleteRunsOnDoneBeforeRelease(t *testing.T) {
+	var s IDSource
+	r := s.NewRequest()
+	r.Addr = 0x40
+	var seen Addr
+	r.OnDone = func(r *Request, now sim.Cycle) {
+		seen = r.Addr
+		if r.released {
+			t.Fatal("request released before OnDone ran")
+		}
+	}
+	r.Complete(1)
+	if seen != 0x40 {
+		t.Fatalf("OnDone saw Addr %#x, want 0x40", seen)
+	}
+	if !r.released {
+		t.Fatal("request not released after Complete")
+	}
+}
+
+// TestRecycle pins Recycle's contract: a pooled request that was built
+// but never submitted goes straight back to the free list, a foreign
+// or literal request is ignored, and recycling the same request twice
+// panics like any double release.
+func TestRecycle(t *testing.T) {
+	var s, other IDSource
+	r := s.NewRequest()
+	other.Recycle(r) // wrong source: ignored
+	s.Recycle(&Request{ID: 99})
+	if _, _, puts := s.PoolStats(); puts != 0 {
+		t.Fatalf("foreign/literal recycle reached the pool: puts=%d", puts)
+	}
+	s.Recycle(r)
+	if _, _, puts := s.PoolStats(); puts != 1 {
+		t.Fatalf("Recycle did not release: puts=%d", puts)
+	}
+	if got := s.NewRequest(); got != r {
+		t.Fatal("recycled request was not reused")
+	}
+}
+
+// TestRecycleThenCompletePanics pins that a request cannot be both
+// recycled and completed: the second release panics.
+func TestRecycleThenCompletePanics(t *testing.T) {
+	var s IDSource
+	r := s.NewRequest()
+	s.Recycle(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Complete after Recycle did not panic")
+		}
+	}()
+	r.Complete(1)
+}

@@ -69,6 +69,11 @@ type Controller struct {
 	done  sim.EventQueue
 	stats Stats
 
+	// respondFn is the prebuilt completion event shared by every
+	// request (the request rides in the event arg — no per-completion
+	// closure).
+	respondFn func(arg any, at sim.Cycle)
+
 	// handle, set by Attach, lets the controller sleep through cycles it
 	// can prove it has no work on. Nil (plain engine.Register wiring)
 	// keeps the seed behaviour of ticking every cycle.
@@ -104,7 +109,14 @@ func New(p Params) *Controller {
 	if p.LineBytes < 1 {
 		panic("memctrl: LineBytes must be >= 1")
 	}
-	return &Controller{p: p, queue: sim.NewQueue[*mem.Request](p.QueueCap)}
+	c := &Controller{p: p, queue: sim.NewQueue[*mem.Request](p.QueueCap)}
+	c.respondFn = func(arg any, at sim.Cycle) {
+		c.stats.Completed++
+		if c.p.Respond != nil {
+			c.p.Respond(arg.(*mem.Request), at)
+		}
+	}
+	return c
 }
 
 // Attach registers the controller with the engine and enables the idle
@@ -350,18 +362,47 @@ func (c *Controller) tick(now sim.Cycle) {
 		c.trace.Begin(c.mcTrack, "burst", start)
 		c.trace.End(c.mcTrack, "burst", end)
 	}
-	req := r
-	c.done.At(end, func() {
-		c.stats.Completed++
-		if c.p.Respond != nil {
-			c.p.Respond(req, end)
-		}
-	})
+	c.done.AtCall(end, c.respondFn, r)
 }
 
 // farFuture is the sleep target for a fully quiescent controller; it is
 // only reached if nothing ever re-arms the controller, i.e. never.
 const farFuture = sim.Cycle(1) << 62
+
+// nextSchedulable reports the earliest cycle >= now+1 at which some
+// queued request's bank could accept a command, so the controller can
+// sleep across a bank-busy gap instead of polling every edge. Bank
+// occupancy only ever extends on cycles the controller is awake for
+// (command issue on its own edges, refresh on cycles the NextRefresh
+// wake term already covers), so the bound cannot rot while sleeping.
+// With fault injection active, scheduling eligibility can change on
+// any edge (stall windows, dead or stuck ranks), so the bound degrades
+// to next-cycle — edge polling, exactly the seed behaviour.
+func (c *Controller) nextSchedulable(now sim.Cycle) sim.Cycle {
+	if c.flt != nil {
+		return now + 1
+	}
+	ready := farFuture
+	if !c.p.FRFCFS {
+		// FCFS: only the head of the queue may issue.
+		loc := c.p.AMap.Decode(c.queue.At(0).Line)
+		ready = c.bank(loc).BusyUntil()
+	} else {
+		for i := 0; i < c.queue.Len(); i++ {
+			loc := c.p.AMap.Decode(c.queue.At(i).Line)
+			if bu := c.bank(loc).BusyUntil(); bu < ready {
+				ready = bu
+				if ready <= now+1 {
+					break
+				}
+			}
+		}
+	}
+	if ready < now+1 {
+		ready = now + 1
+	}
+	return ready
+}
 
 // reschedule computes the next cycle at which the controller can
 // possibly do work and sleeps until then. The bound is exact, not
@@ -374,14 +415,16 @@ func (c *Controller) reschedule(now sim.Cycle) {
 	}
 	wake := farFuture
 	if !c.queue.Empty() {
-		if c.p.Divider.Ratio() == 1 {
-			// Busy at CPU clock: the next tick is next cycle, and the
-			// handle is already armed (we were just ticked, so sleep <=
-			// now). Skip the wake computation — this is the hot path for
-			// a saturated 3D-stacked controller.
+		next := c.nextSchedulable(now)
+		if next <= now+1 && c.p.Divider.Ratio() == 1 {
+			// Busy at CPU clock with a schedulable command: the next
+			// tick is next cycle, and the handle is already armed (we
+			// were just ticked, so sleep <= now). Skip the wake
+			// computation — this is the hot path for a saturated
+			// 3D-stacked controller.
 			return
 		}
-		wake = c.p.Divider.NextEdge(now + 1)
+		wake = c.p.Divider.NextEdge(next)
 	}
 	if at, ok := c.done.NextAt(); ok && at < wake {
 		wake = at

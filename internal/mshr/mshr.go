@@ -84,6 +84,11 @@ type File struct {
 	// costs one extra probe (the re-read after the parity check
 	// fails). Nil = fault-free.
 	flt *fault.MSHRView
+
+	// freeEntries recycles released entries so steady-state miss
+	// traffic allocates no Entry objects (and reuses each entry's
+	// Waiters backing array). Single simulation goroutine; no lock.
+	freeEntries []*Entry
 }
 
 // New returns an empty MSHR bank of the given kind and capacity.
@@ -169,7 +174,19 @@ func (f *File) Allocate(line mem.Addr, r *mem.Request) (*Entry, bool) {
 		return nil, false
 	}
 	f.stats.Allocs++
-	e := &Entry{Line: line, slot: slot}
+	var e *Entry
+	if n := len(f.freeEntries); n > 0 {
+		e = f.freeEntries[n-1]
+		f.freeEntries[n-1] = nil
+		f.freeEntries = f.freeEntries[:n-1]
+		waiters := e.Waiters[:0]
+		for i := range e.Waiters {
+			e.Waiters[i] = nil // drop stale request references
+		}
+		*e = Entry{Line: line, slot: slot, Waiters: waiters}
+	} else {
+		e = &Entry{Line: line, slot: slot}
+	}
 	if r != nil {
 		e.Merge(r)
 	}
@@ -186,6 +203,7 @@ func (f *File) Release(e *Entry) {
 	f.table.Free(e.slot)
 	f.entries[e.slot] = nil
 	f.stats.Releases++
+	f.freeEntries = append(f.freeEntries, e)
 }
 
 // Instrument registers this bank's metrics under the given name prefix

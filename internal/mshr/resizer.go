@@ -28,6 +28,12 @@ type Resizer struct {
 	// Switches counts training→fixed transitions; exported for tests
 	// and reports.
 	Switches uint64
+
+	// handle, when set, lets the tuner sleep between phase boundaries:
+	// the state machine is purely time-driven (a training sample or a
+	// fixed epoch elapsing), so every tick in between is provably a
+	// no-op. A nil handle keeps the per-cycle early-return behaviour.
+	handle *sim.TickHandle
 }
 
 // NewResizer returns a tuner over the given banks. progress must be a
@@ -83,8 +89,32 @@ func (r *Resizer) beginTraining(now sim.Cycle) {
 	r.apply(r.divisors[0])
 }
 
+// SetHandle gives the tuner its engine tick handle; it immediately
+// sleeps to its next phase boundary and keeps doing so after each Tick.
+func (r *Resizer) SetHandle(h *sim.TickHandle) {
+	r.handle = h
+	r.resched()
+}
+
+// resched sleeps until the next phase boundary: the end of the current
+// training sample, or the end of the fixed epoch.
+func (r *Resizer) resched() {
+	if r.phase >= 0 {
+		r.handle.SleepUntil(r.phaseStart + r.sample)
+	} else {
+		r.handle.SleepUntil(r.fixedUntil)
+	}
+}
+
 // Tick advances the tuner state machine.
 func (r *Resizer) Tick(now sim.Cycle) {
+	r.step(now)
+	if r.handle != nil {
+		r.resched()
+	}
+}
+
+func (r *Resizer) step(now sim.Cycle) {
 	if r.phase >= 0 {
 		if now-r.phaseStart < r.sample {
 			return

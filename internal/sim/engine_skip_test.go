@@ -1,0 +1,159 @@
+package sim
+
+import "testing"
+
+// TestSkipCounters pins the engine-efficiency accounting: with every
+// component asleep the run loop jumps the idle span in one hop, and the
+// skipped cycles are visible through CyclesSkipped while delivered
+// ticks show up in TicksDelivered and TicksByComponent.
+func TestSkipCounters(t *testing.T) {
+	e := NewEngine()
+	var aTicks, bTicks int
+	ha := e.RegisterEvery(1, 0, TickFunc(func(Cycle) { aTicks++ }))
+	hb := e.RegisterEvery(1, 0, TickFunc(func(Cycle) { bTicks++ }))
+	ha.SleepUntil(91)
+	hb.SleepUntil(FarFuture)
+	e.Run(100) // cycles 1..100: a ticks on 91..100, b never
+	if aTicks != 10 || bTicks != 0 {
+		t.Fatalf("ticked %d/%d, want 10/0", aTicks, bTicks)
+	}
+	if got := e.TicksDelivered(); got != 10 {
+		t.Fatalf("TicksDelivered = %d, want 10", got)
+	}
+	if got := e.CyclesSkipped(); got != 90 {
+		t.Fatalf("CyclesSkipped = %d, want 90", got)
+	}
+	if by := e.TicksByComponent(); len(by) != 2 || by[0] != 10 || by[1] != 0 {
+		t.Fatalf("TicksByComponent = %v, want [10 0]", by)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100 (skipped cycles still advance time)", e.Now())
+	}
+}
+
+// TestSkipClampsToRunBudget pins that a jump over an idle span never
+// overshoots the run budget: a component sleeping far beyond the run's
+// end leaves the engine at exactly the requested cycle.
+func TestSkipClampsToRunBudget(t *testing.T) {
+	e := NewEngine()
+	h := e.RegisterEvery(1, 0, TickFunc(func(Cycle) { t.Fatal("ticked while asleep") }))
+	h.SleepUntil(1_000_000)
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	e.Run(10)
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d after second run, want 20", e.Now())
+	}
+}
+
+// TestWakeBeforeSleep pins the wake-ordering contract the component
+// sleep disciplines rely on: when an earlier-registered producer wakes
+// a later-registered consumer during cycle T, the consumer ticks on T
+// itself — not T+1 — exactly as it would have under full tick. It also
+// pins that a Wake landing before the target ever sleeps is harmless.
+func TestWakeBeforeSleep(t *testing.T) {
+	e := NewEngine()
+	var consumerTicks []Cycle
+	var hc *TickHandle
+	e.Register(TickFunc(func(now Cycle) {
+		if now == 5 {
+			hc.Wake()
+		}
+	}))
+	hc = e.RegisterEvery(1, 0, TickFunc(func(now Cycle) {
+		consumerTicks = append(consumerTicks, now)
+		hc.SleepUntil(FarFuture)
+	}))
+	hc.Wake() // wake before the consumer has ever slept: no-op arming
+	e.Run(10)
+	// Consumer ticks on cycle 1 (initially armed), sleeps, then is woken
+	// by the producer during cycle 5 and must tick that same cycle.
+	want := []Cycle{1, 5}
+	if len(consumerTicks) != len(want) {
+		t.Fatalf("consumer ticked %v, want %v", consumerTicks, want)
+	}
+	for i := range want {
+		if consumerTicks[i] != want[i] {
+			t.Fatalf("consumer ticked %v, want %v", consumerTicks, want)
+		}
+	}
+}
+
+// TestWakeDuringSkippedSpanViaEvent pins that a scheduled event firing
+// inside an otherwise idle span both runs on its exact cycle and can
+// wake a sleeping component on that cycle.
+func TestWakeDuringSkippedSpanViaEvent(t *testing.T) {
+	e := NewEngine()
+	var ticks []Cycle
+	var h *TickHandle
+	h = e.RegisterEvery(1, 0, TickFunc(func(now Cycle) {
+		ticks = append(ticks, now)
+		h.SleepUntil(FarFuture)
+	}))
+	var firedAt Cycle
+	e.Schedule(50, func() {
+		firedAt = e.Now()
+		h.Wake()
+	})
+	e.Run(100)
+	if firedAt != 50 {
+		t.Fatalf("event fired at %d, want 50", firedAt)
+	}
+	want := []Cycle{1, 50}
+	if len(ticks) != 2 || ticks[0] != want[0] || ticks[1] != want[1] {
+		t.Fatalf("ticked %v, want %v", ticks, want)
+	}
+	// 1 tick-cycle at 1, one at 50; cycles 2..49 and 51..100 skipped.
+	if got := e.CyclesSkipped(); got != 98 {
+		t.Fatalf("CyclesSkipped = %d, want 98", got)
+	}
+}
+
+// TestAtCallZeroAllocOrdering pins that AtCall events interleave with
+// At closures in strict (cycle, insertion) order and deliver their
+// argument and fire cycle unchanged.
+func TestAtCallZeroAllocOrdering(t *testing.T) {
+	var q EventQueue
+	var order []string
+	type payload struct{ name string }
+	record := func(arg any, at Cycle) {
+		order = append(order, arg.(*payload).name)
+		if at != 3 {
+			t.Fatalf("AtCall fired with at=%d, want 3", at)
+		}
+	}
+	q.AtCall(3, record, &payload{name: "a"})
+	q.At(3, func() { order = append(order, "closure") })
+	q.AtCall(3, record, &payload{name: "b"})
+	q.FireDue(3)
+	want := []string{"a", "closure", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDividerSleepRoundsToEdge pins that a sleeping divider-domain
+// component resumes on its own clock edge, not on its raw wake cycle.
+func TestDividerSleepRoundsToEdge(t *testing.T) {
+	e := NewEngine()
+	var ticks []Cycle
+	h := e.RegisterEvery(4, 0, TickFunc(func(now Cycle) { ticks = append(ticks, now) }))
+	h.SleepUntil(5) // next edge at or after 5 is 8
+	e.Run(12)
+	want := []Cycle{8, 12}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticked %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticked %v, want %v", ticks, want)
+		}
+	}
+}

@@ -1,35 +1,43 @@
 package sim
 
-import "container/heap"
-
 // event is a pending callback scheduled for a cycle. seq breaks ties so
 // events scheduled earlier fire earlier within the same cycle.
+//
+// An event carries one of two callback shapes:
+//
+//   - fn, a plain closure (scheduled with At). Convenient, but every
+//     call site allocates a fresh closure.
+//   - call+arg (scheduled with AtCall): a prebuilt function — typically
+//     a method value built once and held in a struct field — plus the
+//     argument to hand it. Scheduling this shape does not allocate,
+//     because a pointer stored in an interface value is allocation-free.
+//
+// Both shapes share the single seq-ordered queue, so the relative firing
+// order of same-cycle events is the schedule order regardless of shape.
 type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at   Cycle
+	seq  uint64
+	fn   func()
+	call func(arg any, at Cycle)
+	arg  any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by cycle, then by schedule order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
 
 // EventQueue is a deterministic time-ordered queue of callbacks.
 //
 // Events scheduled for the same cycle fire in the order they were
-// scheduled. The zero value is ready to use.
+// scheduled. The zero value is ready to use. The heap is hand-rolled
+// rather than container/heap so pushes and pops move events by value
+// instead of boxing each one in an interface.
 type EventQueue struct {
-	heap eventHeap
+	heap []event
 	seq  uint64
 }
 
@@ -38,8 +46,57 @@ func (q *EventQueue) At(c Cycle, f func()) {
 	if f == nil {
 		panic("sim: EventQueue.At called with nil func")
 	}
+	q.push(event{at: c, fn: f})
+}
+
+// AtCall schedules fn(arg, c) to run when FireDue is called with a
+// cycle >= c. Unlike At it does not allocate: fn should be a function
+// value that already exists (build a method value once and reuse it)
+// and arg should be a pointer. The cycle passed to fn is c — the cycle
+// the event was scheduled for — matching the convention of At closures
+// that capture their own scheduled time.
+func (q *EventQueue) AtCall(c Cycle, fn func(arg any, at Cycle), arg any) {
+	if fn == nil {
+		panic("sim: EventQueue.AtCall called with nil func")
+	}
+	q.push(event{at: c, call: fn, arg: arg})
+}
+
+func (q *EventQueue) push(ev event) {
 	q.seq++
-	heap.Push(&q.heap, event{at: c, seq: q.seq, fn: f})
+	ev.seq = q.seq
+	q.heap = append(q.heap, ev)
+	q.up(len(q.heap) - 1)
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q.heap[i], &q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && eventLess(&q.heap[r], &q.heap[l]) {
+			small = r
+		}
+		if !eventLess(&q.heap[small], &q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
 }
 
 // Len reports the number of pending events.
@@ -51,13 +108,24 @@ func (q *EventQueue) NextAt() (c Cycle, ok bool) {
 	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.heap.peek().at, true
+	return q.heap[0].at, true
 }
 
 // FireDue runs, in order, every event scheduled at or before now.
 func (q *EventQueue) FireDue(now Cycle) {
-	for len(q.heap) > 0 && q.heap.peek().at <= now {
-		e := heap.Pop(&q.heap).(event)
-		e.fn()
+	for len(q.heap) > 0 && q.heap[0].at <= now {
+		ev := q.heap[0]
+		n := len(q.heap) - 1
+		q.heap[0] = q.heap[n]
+		q.heap[n] = event{} // drop fn/arg references
+		q.heap = q.heap[:n]
+		if n > 0 {
+			q.down(0)
+		}
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.call(ev.arg, ev.at)
+		}
 	}
 }

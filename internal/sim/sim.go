@@ -36,6 +36,12 @@ import (
 // Cycle is a point in simulated time, measured in CPU clock cycles.
 type Cycle int64
 
+// FarFuture is a sleep target meaning "until woken": far enough out
+// that no run reaches it, small enough that arithmetic on it cannot
+// overflow. Components with no self-scheduled next-work cycle sleep
+// until FarFuture and rely on Wake.
+const FarFuture = Cycle(1) << 62
+
 // Ticker is a component driven once per CPU cycle by the Engine.
 //
 // Tick is called with the current cycle. Components must not assume any
@@ -56,9 +62,10 @@ func (f TickFunc) Tick(now Cycle) { f(now) }
 // sleeping until, when its component has reported quiescence.
 type tickEntry struct {
 	t     Ticker
-	every Cycle // tick period in CPU cycles (>= 1)
-	phase Cycle // tick when now%every == phase
-	sleep Cycle // skip while now < sleep (0 = armed)
+	every Cycle  // tick period in CPU cycles (>= 1)
+	phase Cycle  // tick when now%every == phase
+	sleep Cycle  // skip while now < sleep (0 = armed)
+	ticks uint64 // Tick calls delivered to this component
 }
 
 // Engine drives registered tickers, one call per component per cycle.
@@ -74,6 +81,12 @@ type Engine struct {
 	// their own edge checks, so results are identical either way; the
 	// knob exists so parity tests can pin that equivalence.
 	fullTick bool
+
+	// Engine-efficiency counters: how many Tick calls were actually
+	// delivered, and how many cycles the run loop jumped over without
+	// entering Step because nothing could happen on them.
+	ticksDelivered uint64
+	cyclesSkipped  uint64
 }
 
 // NewEngine returns an empty engine at cycle zero.
@@ -167,13 +180,106 @@ func (e *Engine) Step() {
 			}
 		}
 		en.t.Tick(e.now)
+		en.ticks++
+		e.ticksDelivered++
 	}
+}
+
+// TicksByComponent reports per-component delivered Tick counts, in
+// registration order. Useful for finding which component a mostly-idle
+// run still spends its ticks on.
+func (e *Engine) TicksByComponent() []uint64 {
+	out := make([]uint64, len(e.entries))
+	for i := range e.entries {
+		out[i] = e.entries[i].ticks
+	}
+	return out
+}
+
+// TicksDelivered reports how many component Tick calls the engine has
+// made since construction. Compare against Now() times the number of
+// registered components to see how much work the scheduling fast-paths
+// avoided.
+func (e *Engine) TicksDelivered() uint64 { return e.ticksDelivered }
+
+// CyclesSkipped reports how many cycles the run loop jumped over
+// entirely (no events due, every component asleep or off its clock
+// edge). Skipped cycles still advance Now and count toward run budgets.
+func (e *Engine) CyclesSkipped() uint64 { return e.cyclesSkipped }
+
+// nextInteresting reports the earliest cycle after now on which
+// anything can happen: a non-sleeping entry's next clock-domain edge, a
+// sleeping entry's wake cycle rounded up to its next edge, or the
+// earliest pending event. When every component sleeps unboundedly and
+// no events are pending, it reports a far-future cycle and the caller
+// clamps the jump to its budget.
+func (e *Engine) nextInteresting() Cycle {
+	next := FarFuture
+	for i := range e.entries {
+		en := &e.entries[i]
+		c := e.now + 1
+		if en.sleep > c {
+			c = en.sleep
+		}
+		if en.every > 1 {
+			if r := c % en.every; r != en.phase {
+				d := en.phase - r
+				if d < 0 {
+					d += en.every
+				}
+				c += d
+			}
+		}
+		if c < next {
+			next = c
+			if next <= e.now+1 {
+				return next
+			}
+		}
+	}
+	if c, ok := e.events.NextAt(); ok {
+		if c <= e.now {
+			c = e.now + 1
+		}
+		if c < next {
+			next = c
+		}
+	}
+	return next
+}
+
+// advance moves simulated time forward by up to n cycles (n >= 1) and
+// returns the cycles consumed. Provably idle spans are jumped over
+// without entering Step; skipped cycles count as consumed, so run
+// budgets, checkpoint cursors, and sampling intervals see them exactly
+// as if they had been stepped one by one.
+func (e *Engine) advance(n Cycle) Cycle {
+	if e.fullTick {
+		e.Step()
+		return 1
+	}
+	skip := e.nextInteresting() - (e.now + 1)
+	if skip <= 0 {
+		e.Step()
+		return 1
+	}
+	if skip >= n {
+		// Nothing can happen in the whole remaining budget: jump to
+		// the end of the run without stepping at all.
+		e.now += n
+		e.cyclesSkipped += uint64(n)
+		return n
+	}
+	e.now += skip
+	e.cyclesSkipped += uint64(skip)
+	e.Step()
+	return skip + 1
 }
 
 // Run advances the simulation by n cycles.
 func (e *Engine) Run(n Cycle) {
-	for i := Cycle(0); i < n; i++ {
-		e.Step()
+	for done := Cycle(0); done < n; {
+		done += e.advance(n - done)
 	}
 }
 
@@ -196,8 +302,8 @@ func (e *Engine) RunCtx(ctx context.Context, n Cycle) (stepped Cycle, err error)
 		if chunk > ctxCheckInterval {
 			chunk = ctxCheckInterval
 		}
-		for i := Cycle(0); i < chunk; i++ {
-			e.Step()
+		for done := Cycle(0); done < chunk; {
+			done += e.advance(chunk - done)
 		}
 		stepped += chunk
 	}
@@ -206,15 +312,18 @@ func (e *Engine) RunCtx(ctx context.Context, n Cycle) (stepped Cycle, err error)
 
 // RunUntil steps the simulation until done() reports true or max cycles
 // have elapsed. It returns the number of cycles stepped and whether the
-// predicate was satisfied; done() is checked before each step and once
-// more after the final one, so a predicate first satisfied exactly on
-// the max-th cycle reports done rather than a timeout.
+// predicate was satisfied; done() is checked before each advance and
+// once more after the final one, so a predicate first satisfied exactly
+// on the max-th cycle reports done rather than a timeout. Idle spans
+// are jumped like Run's; the predicate must therefore depend only on
+// component or event state (which cannot change inside a skipped span),
+// not on Now() directly.
 func (e *Engine) RunUntil(done func() bool, max Cycle) (stepped Cycle, ok bool) {
-	for i := Cycle(0); i < max; i++ {
+	for stepped < max {
 		if done() {
-			return i, true
+			return stepped, true
 		}
-		e.Step()
+		stepped += e.advance(max - stepped)
 	}
 	return max, done()
 }

@@ -125,6 +125,21 @@ type Layer struct {
 	events sim.EventQueue // delayed SRAM tag decisions
 	now    sim.Cycle
 	stats  Stats
+
+	// handle, when set, lets the layer sleep while its retry queues are
+	// empty until its next delayed tag decision; completion callbacks
+	// that queue retry work from another component's tick wake it.
+	handle *sim.TickHandle
+
+	// Prebuilt callbacks so the miss path schedules and completes
+	// without per-request closures: resolveFn applies a delayed SRAM tag
+	// decision (the request rides in the event arg) and fetchDone
+	// finishes a block fetch (the block address rides in Request.Line).
+	resolveFn func(arg any, at sim.Cycle)
+	fetchDone func(r *mem.Request, now sim.Cycle)
+
+	// freeMiss recycles miss-merge nodes (reusing waiter slices).
+	freeMiss []*missEntry
 }
 
 // New builds the layer for a cache or memcache configuration.
@@ -160,7 +175,56 @@ func New(p Params) *Layer {
 		pending:    make(map[mem.Addr]*missEntry),
 		stackQ:     make([][]*mem.Request, len(p.Stacked)),
 	}
+	l.resolveFn = func(arg any, at sim.Cycle) { l.resolveSRAM(arg.(*mem.Request), at) }
+	l.fetchDone = func(r *mem.Request, at sim.Cycle) { l.finishMiss(r.Line, at) }
 	return l
+}
+
+// SetHandle arms the idle fast-path: the layer sleeps while its retry
+// queues are empty until its next delayed tag decision.
+func (l *Layer) SetHandle(h *sim.TickHandle) {
+	l.handle = h
+	l.sched(l.now)
+}
+
+// sched recomputes the wake cycle from the layer's full live state:
+// awake next cycle while any retry queue holds work (each is drained
+// once per cycle), else asleep until the next delayed tag decision,
+// else unboundedly.
+func (l *Layer) sched(now sim.Cycle) {
+	if l.handle == nil {
+		return
+	}
+	if len(l.backQ) > 0 {
+		l.handle.SleepUntil(now + 1)
+		return
+	}
+	for _, q := range l.stackQ {
+		if len(q) > 0 {
+			l.handle.SleepUntil(now + 1)
+			return
+		}
+	}
+	if c, ok := l.events.NextAt(); ok {
+		l.handle.SleepUntil(c)
+		return
+	}
+	l.handle.SleepUntil(sim.FarFuture)
+}
+
+// newMiss returns a recycled (or fresh) miss node seeded with r.
+func (l *Layer) newMiss(r *mem.Request) *missEntry {
+	if n := len(l.freeMiss); n > 0 {
+		e := l.freeMiss[n-1]
+		l.freeMiss[n-1] = nil
+		l.freeMiss = l.freeMiss[:n-1]
+		for i := range e.waiters {
+			e.waiters[i] = nil // drop stale request references
+		}
+		e.waiters = append(e.waiters[:0], r)
+		return e
+	}
+	return &missEntry{waiters: []*mem.Request{r}}
 }
 
 // front adapts one stacked MC's share of the address space to the
@@ -219,8 +283,8 @@ func (l *Layer) submit(mc int, r *mem.Request, now sim.Cycle) bool {
 		// Tags-in-SRAM: the probe takes tagLat cycles, then the hit
 		// proceeds on the stack or the miss goes off chip. The request
 		// is accepted here; the layer owns it until resolution.
-		req := r
-		l.events.At(now+l.tagLat, func() { l.resolveSRAM(req) })
+		l.events.AtCall(now+l.tagLat, l.resolveFn, r)
+		l.sched(now)
 		return true
 	case mem.Writeback:
 		return l.submitWriteback(mc, r, now)
@@ -266,8 +330,7 @@ func (l *Layer) submitWriteback(mc int, r *mem.Request, now sim.Cycle) bool {
 }
 
 // resolveSRAM applies the tag decision tagLat cycles after the probe.
-func (l *Layer) resolveSRAM(r *mem.Request) {
-	now := l.now
+func (l *Layer) resolveSRAM(r *mem.Request, now sim.Cycle) {
 	l.stats.Probes++
 	blk := l.block(r.Line)
 	if l.tags.Lookup(blk) {
@@ -313,24 +376,22 @@ func (l *Layer) forwardMiss(r *mem.Request, now sim.Cycle) {
 		e.waiters = append(e.waiters, r)
 		return
 	}
-	e := &missEntry{waiters: []*mem.Request{r}}
-	l.pending[blk] = e
-	fetch := &mem.Request{
-		ID:   l.ids.Next(),
-		Kind: mem.Read,
-		Addr: blk,
-		Line: blk,
-		Core: r.Core,
-		PC:   r.PC,
-		Born: now,
-	}
+	l.pending[blk] = l.newMiss(r)
+	fetch := l.ids.NewRequest()
+	fetch.Kind = mem.Read
+	fetch.Addr = blk
+	fetch.Line = blk
+	fetch.Core = r.Core
+	fetch.PC = r.PC
+	fetch.Born = now
 	// The fetch carries no attribution tag: the original tag's
 	// StackResolve→Done interval is the off-chip stage by definition,
 	// and the backing MC must not overwrite the stacked checkpoints.
-	fetch.OnDone = func(req *mem.Request, at sim.Cycle) { l.finishMiss(blk, at) }
+	fetch.OnDone = l.fetchDone
 	l.stats.BackingReads++
 	if !l.backing.Submit(fetch, now) {
 		l.backQ = append(l.backQ, fetch)
+		l.handle.Wake()
 	}
 }
 
@@ -347,34 +408,32 @@ func (l *Layer) finishMiss(blk mem.Addr, at sim.Cycle) {
 		if evicted && victimDirty {
 			l.stats.WritebacksOut++
 			l.stats.BackingWrites++
-			wb := &mem.Request{
-				ID:   l.ids.Next(),
-				Kind: mem.Writeback,
-				Addr: victim,
-				Line: victim,
-				Core: -1,
-				Born: at,
-			}
+			wb := l.ids.NewRequest()
+			wb.Kind = mem.Writeback
+			wb.Addr = victim
+			wb.Line = victim
+			wb.Core = -1
+			wb.Born = at
 			if !l.backing.Submit(wb, at) {
 				l.backQ = append(l.backQ, wb)
+				l.handle.Wake()
 			}
 		}
 		// Model the fill's occupancy on the stacked channel with a
 		// fire-and-forget write.
-		fill := &mem.Request{
-			ID:          l.ids.Next(),
-			Kind:        mem.Write,
-			Addr:        blk,
-			Line:        blk,
-			Core:        -1,
-			Born:        at,
-			StackDirect: true,
-		}
+		fill := l.ids.NewRequest()
+		fill.Kind = mem.Write
+		fill.Addr = blk
+		fill.Line = blk
+		fill.Core = -1
+		fill.Born = at
+		fill.StackDirect = true
 		l.toStacked(fill, at)
 	}
 	for _, w := range e.waiters {
 		w.Complete(at)
 	}
+	l.freeMiss = append(l.freeMiss, e)
 }
 
 // toStacked submits resolved traffic to the owning stacked MC,
@@ -383,6 +442,7 @@ func (l *Layer) toStacked(r *mem.Request, now sim.Cycle) {
 	mc := l.amap.MCOf(r.Line)
 	if !l.stacked[mc].Submit(r, now) {
 		l.stackQ[mc] = append(l.stackQ[mc], r)
+		l.handle.Wake()
 	}
 }
 
@@ -408,6 +468,7 @@ func (l *Layer) Tick(now sim.Cycle) {
 		}
 		l.stackQ[mc] = q
 	}
+	l.sched(now)
 }
 
 // Instrument registers the "stackcache.*" metrics.

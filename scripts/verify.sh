@@ -18,7 +18,11 @@
 # layer sits on the hot path between the L2 and every controller.
 # internal/power and internal/thermal feed the power/thermal tracker
 # whose summary the monitor serves from handler goroutines, so they run
-# under the race detector alongside it.
+# under the race detector alongside it. internal/mem and internal/mshr
+# carry the pooled request / MSHR-entry free lists: their lifecycle
+# tests (reuse, double-release panics) run here so a pooling bug that
+# only manifests with the race detector's reordering still fails
+# tier-1.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,8 +35,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
