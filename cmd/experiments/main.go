@@ -7,10 +7,17 @@
 //	experiments -exp all
 //	experiments -exp fig4,fig6a -measure 1000000 -v
 //	experiments -exp all -j 8 -perf-json perf.json
+//	experiments -exp all -ledger-dir runs/ -monitor-addr :8080
 //
 // Runs fan out over a worker pool (-j, default GOMAXPROCS); output is
 // byte-identical to -j 1 because every simulation is deterministic in
 // isolation and figures print in a fixed order.
+//
+// With -ledger-dir every completed run lands in the content-addressed
+// run ledger and already-recorded (config, workload, seed) runs are
+// served from it without simulating, so re-generating a figure after an
+// unrelated change is nearly free. The monitor then also serves /runs,
+// /compare and the /dashboard over the same store.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
@@ -29,6 +37,7 @@ import (
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
 	"stackedsim/internal/floorplan"
+	"stackedsim/internal/ledger"
 	"stackedsim/internal/monitor"
 )
 
@@ -39,6 +48,7 @@ type perfReport struct {
 	RunsPerSec  float64 `json:"runs_per_sec"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Workers     int     `json:"workers"`
+	LedgerHits  int64   `json:"ledger_hits"`
 }
 
 func main() { os.Exit(run()) }
@@ -55,6 +65,7 @@ func run() int {
 		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		perfOut = flag.String("perf-json", "", "write wall-clock/throughput stats to this file")
 		monAddr = flag.String("monitor-addr", "", "serve live runner progress (/metrics, /snapshot, /healthz, pprof) on this address")
+		ledDir  = flag.String("ledger-dir", "", "content-addressed run ledger: record completed runs here and serve known runs from it without re-simulating")
 		runTmo  = flag.Duration("run-timeout", 0, "per-simulation wall-time limit (0 = none); an over-budget run fails alone")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -106,15 +117,27 @@ func run() int {
 	if *verbose {
 		r.Progress = os.Stderr
 	}
+	var led *ledger.Ledger
+	if *ledDir != "" {
+		var err error
+		if led, err = ledger.Open(*ledDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		r.Ledger = led
+		r.Experiment = *expFlag
+		r.GitRevision = gitDescribe()
+	}
 
 	// A long sweep is a black box until it exits; the monitor makes the
 	// fleet observable live (queued/running/completed runs plus pprof
 	// for the process itself). Simulations own their (per-run, private)
 	// registries, so only runner progress is served here.
 	if *monAddr != "" {
-		mon := &monitor.Server{ProgressFn: func() monitor.Progress {
+		mon := &monitor.Server{Ledger: led, ProgressFn: func() monitor.Progress {
 			st := r.Status()
-			p := monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed, Failed: st.Failed}
+			p := monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed,
+				Failed: st.Failed, LedgerHits: st.LedgerHits}
 			for _, rep := range st.Reports {
 				mr := monitor.RunReport{Config: rep.Config, Label: rep.Label, WallSeconds: rep.WallSeconds}
 				if rep.Err != nil {
@@ -238,6 +261,7 @@ func run() int {
 			Runs:        r.Runs(),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Workers:     workers,
+			LedgerHits:  r.Status().LedgerHits,
 		}
 		if wall > 0 {
 			rep.RunsPerSec = float64(rep.Runs) / wall
@@ -252,6 +276,10 @@ func run() int {
 			return 1
 		}
 	}
+	if led != nil {
+		fmt.Fprintf(os.Stderr, "ledger: %d of %d runs served from %s\n",
+			r.Status().LedgerHits, r.Runs(), led.Dir())
+	}
 	if failed > 0 {
 		// Surface which runs went wrong (the first error per run), then
 		// fail the invocation.
@@ -265,4 +293,14 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// gitDescribe best-effort identifies the source tree for run manifests;
+// empty when git is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -23,7 +23,17 @@
 // plus the power/thermal report with the per-bank activity heatmap and
 // per-layer temperature trajectory (disable with -power=false).
 // -monitor-addr serves /metrics, /snapshot, /healthz and pprof live
-// during the run; see docs/OBSERVABILITY.md.
+// during the run, plus the run ledger endpoints (/runs, /compare,
+// /dashboard) when -ledger-dir is set; see docs/OBSERVABILITY.md.
+//
+// With -ledger-dir every completed run is appended to a
+// content-addressed run ledger keyed by (config, workload, seed,
+// simulator version). Re-running a recorded combination is served from
+// the ledger without simulating — unless -telemetry-dir is also set,
+// since the telemetry artifacts only exist for a live run (the run is
+// then re-simulated and its record deduplicated). Sweeps record and
+// dedupe per mix. Inspect and gate recorded runs with cmd/statsdiff
+// -ledger-dir.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -46,6 +57,7 @@ import (
 	"stackedsim/internal/core"
 	"stackedsim/internal/cpu"
 	"stackedsim/internal/fault"
+	"stackedsim/internal/ledger"
 	"stackedsim/internal/monitor"
 	"stackedsim/internal/telemetry"
 	"stackedsim/internal/trace"
@@ -110,13 +122,14 @@ func main() {
 		attribOn     = flag.Bool("attrib", true, "memory-latency attribution (cycle accounting) when telemetry is enabled")
 		powerOn      = flag.Bool("power", true, "power/thermal tracking (per-layer power, transient temperatures) when telemetry is enabled")
 		monitorAddr  = flag.String("monitor-addr", "", "serve /metrics, /snapshot, /healthz and pprof on this address during the run")
+		ledgerDir    = flag.String("ledger-dir", "", "content-addressed run ledger: record completed runs here and serve known (config, workload, seed) runs from it without re-simulating")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName,
-		*checkpoint, *resume, *traces, *ckptEvery, *stackMode)
+		*checkpoint, *resume, *traces, *ckptEvery, *stackMode, *ledgerDir)
 
 	if *list {
 		fmt.Println("benchmarks (Table 2a):")
@@ -208,12 +221,20 @@ func main() {
 		defer cancel()
 	}
 
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		var lerr error
+		if led, lerr = ledger.Open(*ledgerDir); lerr != nil {
+			fatal(lerr)
+		}
+	}
+
 	if strings.Contains(*mixName, ",") {
 		if *telemetryDir != "" || *traces != "" {
 			fmt.Fprintln(os.Stderr, "stacksim: -telemetry-dir and -traces describe a single run; use one -mix")
 			os.Exit(2)
 		}
-		runSweep(ctx, cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure)
+		runSweep(ctx, cfg, strings.Split(*mixName, ","), *jobs, *warmup, *measure, led)
 		return
 	}
 	if *jobs > 1 {
@@ -233,7 +254,7 @@ func main() {
 
 	var sys *core.System
 	var err error
-	var labels []string
+	var labels, workloadKey []string
 	if *resume != "" {
 		cp, lerr := core.LoadCheckpoint(*resume)
 		if lerr != nil {
@@ -269,11 +290,29 @@ func main() {
 				os.Exit(2)
 			}
 			labels = mix.Benchmarks[:]
+			// The canonical mix name keys the ledger the same way the
+			// experiment harness does, so a stacksim run and a sweep run
+			// of the same organization dedupe against each other.
+			workloadKey = []string{"mix:" + mix.Name}
 		case *benches != "":
 			labels = strings.Split(*benches, ",")
+			for _, b := range labels {
+				workloadKey = append(workloadKey, "bench:"+b)
+			}
 		default:
 			fmt.Fprintln(os.Stderr, "stacksim: need -mix or -bench (see -list)")
 			os.Exit(2)
+		}
+		// A recorded run is served from the ledger instead of simulated
+		// — but only when no telemetry was asked for: the time-series and
+		// trace artifacts exist only for a live run.
+		if led != nil && *telemetryDir == "" {
+			if m, rec, ok := ledgerRecall(led, cfg, workloadKey); ok {
+				fmt.Printf("ledger: cache hit %s (recorded %s, %.2fs wall); not re-simulating\n",
+					rec.Manifest.ID, rec.Manifest.StartedAt, rec.Manifest.WallSeconds)
+				report(cfg, m)
+				return
+			}
 		}
 		sys, err = core.NewSystem(cfg, labels)
 	}
@@ -303,7 +342,7 @@ func main() {
 	// the published snapshot, so a slow scraper cannot block a cycle.
 	var mon *monitor.Server
 	if *monitorAddr != "" {
-		mon = &monitor.Server{Registry: tel.Reg()}
+		mon = &monitor.Server{Registry: tel.Reg(), Ledger: led}
 		if col != nil {
 			mon.AttribFn = col.Breakdown
 		}
@@ -323,7 +362,7 @@ func main() {
 			defer cancel()
 			mon.Shutdown(sctx) //nolint:errcheck // best-effort on exit
 		}()
-		fmt.Printf("monitor: serving /metrics /snapshot /healthz and /debug/pprof on %s\n", mon.Addr())
+		fmt.Printf("monitor: serving /metrics /snapshot /dashboard /healthz and /debug/pprof on %s\n", mon.Addr())
 		// -sample-every 0 disables the time-series but the monitor
 		// still needs a snapshot cadence; fall back to the default.
 		collectEvery := int(*sampleEvery)
@@ -368,6 +407,14 @@ func main() {
 	}
 	if pt != nil {
 		fmt.Print(pt.Report())
+	}
+
+	// Record the completed run before the telemetry export so the
+	// exported manifest's wall time prices the ledger write too (that is
+	// what scripts/bench.sh gates). Only finished runs are recorded: a
+	// partial result must never be served as the real answer later.
+	if led != nil && runErr == nil && len(workloadKey) > 0 {
+		recordRun(led, cfg, workloadKey, &m, sys, tel, col, pt, started)
 	}
 
 	if tel != nil {
@@ -430,7 +477,7 @@ func main() {
 // conflicts with sweep mode, and checkpoint/resume describe one
 // generator-driven run.
 func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
-	checkpoint, resume, traces string, ckptEvery int64, stackMode string) {
+	checkpoint, resume, traces string, ckptEvery int64, stackMode, ledgerDir string) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if stackMode == "memory" {
@@ -493,6 +540,20 @@ func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
 		fmt.Fprintln(os.Stderr, "stacksim: -sample-every must be >= 0 cycles (0 disables the time-series)")
 		os.Exit(2)
 	}
+	if ledgerDir != "" {
+		// The ledger addresses a run by its config and workload *names*;
+		// a trace workload's behavior lives in the trace file contents,
+		// which the digest never sees, so a hit could serve the wrong
+		// run. Checkpoint/resume runs are partial by construction.
+		if traces != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -ledger-dir conflicts with -traces (trace contents are outside the run's content address)")
+			os.Exit(2)
+		}
+		if checkpoint != "" || resume != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -ledger-dir conflicts with -checkpoint/-resume (the ledger records only complete, from-scratch runs)")
+			os.Exit(2)
+		}
+	}
 	if monitorAddr != "" {
 		if strings.Contains(mixName, ",") {
 			fmt.Fprintln(os.Stderr, "stacksim: -monitor-addr serves a single run; it conflicts with a multi-mix sweep (use cmd/experiments -monitor-addr for fleet progress)")
@@ -549,17 +610,24 @@ func powerThermalWire(s core.PowerThermalSummary) *monitor.PowerThermal {
 // report is independent of -j: runs are deterministic in isolation and
 // collection follows submission order. A cancelled or failed run marks
 // its own line and the exit code; completed siblings still print.
-func runSweep(ctx context.Context, cfg *config.Config, mixes []string, jobs int, warmup, measure int64) {
+func runSweep(ctx context.Context, cfg *config.Config, mixes []string, jobs int, warmup, measure int64, led *ledger.Ledger) {
 	for i := range mixes {
 		mixes[i] = strings.TrimSpace(mixes[i])
-		if _, ok := workload.MixByName(mixes[i]); !ok {
+		m, ok := workload.MixByName(mixes[i])
+		if !ok {
 			fmt.Fprintf(os.Stderr, "stacksim: unknown mix %q\n", mixes[i])
 			os.Exit(2)
 		}
+		// Canonical spelling, so the ledger key is casing-independent.
+		mixes[i] = m.Name
 	}
 	r := core.NewRunner(warmup, measure)
 	r.Workers = jobs
 	r.Ctx = ctx
+	if led != nil {
+		r.Ledger = led
+		r.GitRevision = gitDescribe()
+	}
 	started := time.Now()
 	r.Prefetch(cfg, mixes...)
 	fmt.Printf("config: %s   warmup=%d measured=%d cycles   %d mixes\n",
@@ -580,9 +648,78 @@ func runSweep(ctx context.Context, cfg *config.Config, mixes []string, jobs int,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Printf("sweep: %d runs in %.2fs (j=%d)\n", r.Runs(), time.Since(started).Seconds(), workers)
+	if led != nil {
+		fmt.Printf("ledger: %d of %d runs served from %s\n",
+			r.Status().LedgerHits, len(mixes), led.Dir())
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "stacksim: %d of %d sweep runs failed\n", failed, len(mixes))
 		os.Exit(1)
+	}
+}
+
+// ledgerRecall looks the run up by its content address and, on a hit,
+// decodes the recorded metrics — numerically identical to re-running.
+func ledgerRecall(led *ledger.Ledger, cfg *config.Config, workloadKey []string) (core.Metrics, *ledger.Record, bool) {
+	id, _, err := core.RunIdentity(cfg, workloadKey)
+	if err != nil {
+		fatal(err)
+	}
+	if !led.Has(id) {
+		return core.Metrics{}, nil, false
+	}
+	rec, err := led.Get(id)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.RecallMetrics(rec)
+	if err != nil {
+		fatal(err)
+	}
+	return m, rec, true
+}
+
+// recordRun appends the completed run to the ledger: manifest with the
+// real engine-efficiency counters, the registry's final scalars as the
+// metric map (when telemetry ran; otherwise the flattened Metrics), and
+// the attribution / power-thermal payloads when those trackers ran.
+func recordRun(led *ledger.Ledger, cfg *config.Config, workloadKey []string, m *core.Metrics,
+	sys *core.System, tel *telemetry.Telemetry, col *attrib.Collector, pt *core.PowerThermal, started time.Time,
+) {
+	var final map[string]float64
+	if tel != nil {
+		final = make(map[string]float64)
+		tel.Reg().Scalars(func(name string, _ telemetry.MetricKind, v float64) {
+			// JSON cannot carry NaN/Inf; dropping a poisoned gauge beats
+			// losing the record (the gate still sees it in the exports).
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				final[name] = v
+			}
+		})
+	}
+	rec, err := core.NewRunRecord(cfg, workloadKey, m, sys.EngineReport(), final,
+		"", gitDescribe(), started, time.Since(started).Seconds())
+	if err != nil {
+		fatal(err)
+	}
+	if col != nil {
+		if data, jerr := json.Marshal(col.Breakdown()); jerr == nil {
+			rec.Attrib = data
+		}
+	}
+	if pt != nil {
+		if data, jerr := json.Marshal(pt.Summary()); jerr == nil {
+			rec.PowerThermal = data
+		}
+	}
+	added, err := led.Put(rec)
+	if err != nil {
+		fatal(err)
+	}
+	if added {
+		fmt.Printf("ledger: recorded %s in %s\n", rec.Manifest.ID, led.Dir())
+	} else {
+		fmt.Printf("ledger: %s already recorded in %s\n", rec.Manifest.ID, led.Dir())
 	}
 }
 

@@ -1,9 +1,18 @@
-// Command statsdiff compares two telemetry time-series exports (the
-// timeseries.csv or timeseries.jsonl a -telemetry-dir run writes) and
-// prints per-metric deltas of their final samples — the run-end
-// cumulative totals. With -threshold it becomes a perf-regression
-// gate: any metric whose relative change exceeds the threshold is a
-// breach and the exit status is non-zero.
+// Command statsdiff is the cross-run regression gate: it compares two
+// runs metric by metric and prints per-metric deltas. With -threshold
+// it fails on any metric whose relative change exceeds the threshold.
+//
+// Two sources:
+//
+//   - File mode (two positional arguments): compares the final samples
+//     of two telemetry time-series exports (the timeseries.csv or
+//     timeseries.jsonl a -telemetry-dir run writes) — the run-end
+//     cumulative totals.
+//   - Ledger mode (-ledger-dir): compares two recorded runs straight
+//     from the content-addressed run ledger that stacksim/experiments
+//     -ledger-dir populates. -a and -b accept a run ID, a tag name, or
+//     "latest"; -b is the baseline. A passing compare can pin run -a
+//     under a tag with -pin, blessing it as the next baseline.
 //
 // Usage:
 //
@@ -12,15 +21,24 @@
 //	statsdiff -threshold 0.02 -only 'power.energy.*' old.csv new.csv
 //	statsdiff -ignore 'power.*,thermal.*' old.csv new.csv
 //	statsdiff -all old.csv new.csv
+//	statsdiff -ledger-dir runs/ -a latest -b blessed -threshold 0.05
+//	statsdiff -ledger-dir runs/ -a latest -b blessed -pin blessed
 //
 // -only and -ignore take comma-separated path.Match globs over metric
 // names ('power.*' matches the whole power family — * spans dots, only
 // '/' stops it). -only keeps matching metrics, then -ignore drops
-// matching ones; both compose with -match.
+// matching ones; both compose with -match and apply in either mode.
 //
-// Metrics present in only one export are reported (as added/removed)
-// but never count as breaches: growing the instrumentation must not
-// fail the gate.
+// Metrics present in only one run are reported (as added/removed) but
+// never count as breaches: growing the instrumentation must not fail
+// the gate. A NaN metric always breaches, threshold or not.
+//
+// Exit status taxonomy (scripted gates depend on it):
+//
+//	0 — compared clean: every shared metric within the threshold
+//	1 — regression: at least one breach (threshold exceeded, or a NaN)
+//	2 — usage or I/O error: bad flags, unreadable export, unknown
+//	    ledger ref, failed tag pin
 package main
 
 import (
@@ -28,63 +46,125 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path"
-	"sort"
 	"strconv"
 	"strings"
+
+	"stackedsim/internal/ledger"
 )
 
-func main() {
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// realMain is main's body behind an exit code with injectable streams,
+// so the exit taxonomy is testable without spawning processes.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("statsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		threshold = flag.Float64("threshold", 0, "relative change that counts as a breach (0 = report only, never fail)")
-		match     = flag.String("match", "", "only compare metrics whose name contains this substring")
-		only      = flag.String("only", "", "comma-separated globs; only compare metrics matching one of them")
-		ignore    = flag.String("ignore", "", "comma-separated globs; drop metrics matching one of them")
-		all       = flag.Bool("all", false, "also print unchanged metrics")
+		threshold = fs.Float64("threshold", 0, "relative change that counts as a breach (0 = report only, never fail)")
+		match     = fs.String("match", "", "only compare metrics whose name contains this substring")
+		only      = fs.String("only", "", "comma-separated globs; only compare metrics matching one of them")
+		ignore    = fs.String("ignore", "", "comma-separated globs; drop metrics matching one of them")
+		all       = fs.Bool("all", false, "also print unchanged metrics")
+		ledgerDir = fs.String("ledger-dir", "", "compare runs recorded in this ledger instead of telemetry exports")
+		aRef      = fs.String("a", "latest", "ledger mode: run under test (run ID, tag, or \"latest\")")
+		bRef      = fs.String("b", "", "ledger mode: baseline run (run ID, tag, or \"latest\")")
+		pin       = fs.String("pin", "", "ledger mode: after a clean compare, pin run -a under this tag (bless a new baseline)")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: statsdiff [flags] <old export> <new export>\n")
-		fmt.Fprintf(os.Stderr, "exports are timeseries.csv or timeseries.jsonl files from a -telemetry-dir run\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: statsdiff [flags] <old export> <new export>\n")
+		fmt.Fprintf(stderr, "   or: statsdiff -ledger-dir <dir> -a <ref> -b <ref> [flags]\n")
+		fmt.Fprintf(stderr, "exports are timeseries.csv/.jsonl files; ledger refs are run IDs, tags, or \"latest\"\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintf(stderr, "statsdiff: %v\n", err)
+		return 2
 	}
 
 	keep, err := globFilter(*only, *ignore)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
-	oldVals, err := loadExport(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	newVals, err := loadExport(flag.Arg(1))
-	if err != nil {
-		fatal(err)
+	var oldVals, newVals map[string]float64
+	var led *ledger.Ledger
+	var aID string
+	if *ledgerDir != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "statsdiff: -ledger-dir takes runs via -a/-b, not positional exports")
+			return 2
+		}
+		if *bRef == "" {
+			fmt.Fprintln(stderr, "statsdiff: ledger mode needs a baseline: -b <run ID, tag, or \"latest\">")
+			return 2
+		}
+		if led, err = ledger.Open(*ledgerDir); err != nil {
+			return fatal(err)
+		}
+		recA, err := led.Get(*aRef)
+		if err != nil {
+			return fatal(err)
+		}
+		recB, err := led.Get(*bRef)
+		if err != nil {
+			return fatal(err)
+		}
+		aID = recA.Manifest.ID
+		newVals, oldVals = recA.Metrics, recB.Metrics
+		fmt.Fprintf(stdout, "statsdiff: a=%s (%s %s) vs baseline b=%s (%s %s)\n",
+			*aRef, recA.Manifest.ID, recA.Manifest.Config, *bRef, recB.Manifest.ID, recB.Manifest.Config)
+	} else {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"a", "b", "pin"} {
+			if explicit[name] {
+				fmt.Fprintf(stderr, "statsdiff: -%s selects a ledger run; add -ledger-dir <dir>\n", name)
+				return 2
+			}
+		}
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return 2
+		}
+		if oldVals, err = loadExport(fs.Arg(0)); err != nil {
+			return fatal(err)
+		}
+		if newVals, err = loadExport(fs.Arg(1)); err != nil {
+			return fatal(err)
+		}
 	}
 	oldVals = filterVals(oldVals, keep)
 	newVals = filterVals(newVals, keep)
 
 	rows, breaches := diff(oldVals, newVals, *threshold, *match)
-	printed := 0
 	for _, r := range rows {
 		if !*all && r.kind == diffSame {
 			continue
 		}
-		fmt.Println(r.line)
-		printed++
+		fmt.Fprintln(stdout, r.line)
 	}
-	fmt.Printf("statsdiff: %d metrics compared, %d changed, %d breaches (threshold %g)\n",
+	fmt.Fprintf(stdout, "statsdiff: %d metrics compared, %d changed, %d breaches (threshold %g)\n",
 		len(rows), changed(rows), breaches, *threshold)
 	if breaches > 0 {
-		os.Exit(1)
+		if *pin != "" {
+			fmt.Fprintf(stdout, "statsdiff: not pinning %q: the compare breached\n", *pin)
+		}
+		return 1
 	}
+	if *pin != "" {
+		if err := led.Tag(*pin, aID); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "statsdiff: pinned %s as %q\n", aID, *pin)
+	}
+	return 0
 }
 
 // globFilter compiles -only/-ignore into one predicate over metric
@@ -172,76 +252,50 @@ func changed(rows []diffRow) int {
 	return n
 }
 
-// diff compares the two final samples metric by metric. A breach is a
-// metric present in both whose relative change magnitude exceeds
-// threshold (> 0); against a zero baseline any nonzero new value
-// breaches. A NaN on either side always breaches, threshold or not:
-// NaN means the export (or the metric's computation) is broken, and
-// NaN's non-ordering would otherwise let it sail through every
-// comparison.
+// diff compares the two runs metric by metric on top of ledger.Compare
+// (the same engine the monitor's /compare endpoint uses), rendering the
+// command's report lines. One semantic adjustment: ledger.Compare
+// treats every over-threshold change as a breach, while this command's
+// contract is that -threshold 0 means report-only — so in that mode
+// only NaNs remain breaches. NaN always breaches: NaN means the export
+// (or the metric's computation) is broken, and NaN's non-ordering would
+// otherwise let it sail through every comparison.
 func diff(oldVals, newVals map[string]float64, threshold float64, match string) (rows []diffRow, breaches int) {
-	names := make(map[string]bool, len(oldVals)+len(newVals))
-	for n := range oldVals {
-		names[n] = true
+	if match != "" {
+		contains := func(n string) bool { return strings.Contains(n, match) }
+		oldVals = filterVals(oldVals, contains)
+		newVals = filterVals(newVals, contains)
 	}
-	for n := range newVals {
-		names[n] = true
-	}
-	ordered := make([]string, 0, len(names))
-	for n := range names {
-		if match == "" || strings.Contains(n, match) {
-			ordered = append(ordered, n)
-		}
-	}
-	sort.Strings(ordered)
-	for _, name := range ordered {
-		ov, hasOld := oldVals[name]
-		nv, hasNew := newVals[name]
-		switch {
-		case hasOld && hasNew && (math.IsNaN(ov) || math.IsNaN(nv)):
-			breaches++
-			rows = append(rows, diffRow{name, diffBreach,
-				fmt.Sprintf("  ! %-32s %14g -> %14g (NaN: export or metric is broken)", name, ov, nv)})
-		case !hasOld:
-			rows = append(rows, diffRow{name, diffOnlyNew,
-				fmt.Sprintf("  + %-32s %14s -> %14g (new metric)", name, "-", nv)})
-		case !hasNew:
-			rows = append(rows, diffRow{name, diffOnlyOld,
-				fmt.Sprintf("  - %-32s %14g -> %14s (removed)", name, ov, "-")})
-		case ov == nv:
-			rows = append(rows, diffRow{name, diffSame,
-				fmt.Sprintf("    %-32s %14g (unchanged)", name, ov)})
+	deltas, breaches := ledger.Compare(newVals, oldVals, threshold)
+	for _, d := range deltas {
+		nv, ov := d.A, d.B
+		switch d.Kind {
+		case ledger.DiffOnlyA:
+			rows = append(rows, diffRow{d.Name, diffOnlyNew,
+				fmt.Sprintf("  + %-32s %14s -> %14g (new metric)", d.Name, "-", nv)})
+		case ledger.DiffOnlyB:
+			rows = append(rows, diffRow{d.Name, diffOnlyOld,
+				fmt.Sprintf("  - %-32s %14g -> %14s (removed)", d.Name, ov, "-")})
+		case ledger.DiffSame:
+			rows = append(rows, diffRow{d.Name, diffSame,
+				fmt.Sprintf("    %-32s %14g (unchanged)", d.Name, ov)})
 		default:
-			rel := relChange(ov, nv)
-			kind := diffChanged
-			mark := " "
-			if threshold > 0 && rel > threshold {
-				kind = diffBreach
-				mark = "!"
-				breaches++
+			if math.IsNaN(ov) || math.IsNaN(nv) {
+				rows = append(rows, diffRow{d.Name, diffBreach,
+					fmt.Sprintf("  ! %-32s %14g -> %14g (NaN: export or metric is broken)", d.Name, ov, nv)})
+				continue
 			}
-			rows = append(rows, diffRow{name, kind,
-				fmt.Sprintf("  %s %-32s %14g -> %14g (%+.2f%%)", mark, name, ov, nv, 100*signedRel(ov, nv))})
+			kind, mark := diffChanged, " "
+			if d.Kind == ledger.DiffBreach && threshold > 0 {
+				kind, mark = diffBreach, "!"
+			} else if d.Kind == ledger.DiffBreach {
+				breaches-- // report-only mode: a non-NaN change never fails
+			}
+			rows = append(rows, diffRow{d.Name, kind,
+				fmt.Sprintf("  %s %-32s %14g -> %14g (%+.2f%%)", mark, d.Name, ov, nv, 100*signedRel(ov, nv))})
 		}
 	}
 	return rows, breaches
-}
-
-// relChange is the magnitude of the relative change |new-old|/|old|;
-// a zero baseline with a nonzero new value reports +Inf-like 1e18 so
-// any positive threshold breaches.
-func relChange(ov, nv float64) float64 {
-	if ov == 0 {
-		if nv == 0 {
-			return 0
-		}
-		return 1e18
-	}
-	d := (nv - ov) / ov
-	if d < 0 {
-		d = -d
-	}
-	return d
 }
 
 // signedRel is the signed relative change for display (0 baseline
@@ -337,9 +391,4 @@ func loadJSONL(f *os.File, path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("%s: final line has no metrics object", path)
 	}
 	return row.Metrics, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "statsdiff: %v\n", err)
-	os.Exit(2)
 }

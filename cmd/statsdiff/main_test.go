@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stackedsim/internal/ledger"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -150,6 +152,134 @@ func TestOnlyIgnoreGlobs(t *testing.T) {
 	}
 	if _, err := globFilter("", "x["); err == nil {
 		t.Fatal("malformed -ignore glob accepted")
+	}
+}
+
+// run invokes the command in-process and returns its exit code plus
+// combined output.
+func run(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out strings.Builder
+	code := realMain(args, &out, &out)
+	return code, out.String()
+}
+
+// TestExitCodeTaxonomyFileMode pins the documented exit statuses in
+// file mode: 0 clean, 1 regression, 2 usage/IO error.
+func TestExitCodeTaxonomyFileMode(t *testing.T) {
+	base := writeTemp(t, "base.csv", "cycle,ipc\n1000,1.0\n")
+	same := writeTemp(t, "same.csv", "cycle,ipc\n1000,1.0\n")
+	worse := writeTemp(t, "worse.csv", "cycle,ipc\n1000,0.8\n")
+	if code, out := run(t, "-threshold", "0.05", base, same); code != 0 {
+		t.Fatalf("clean compare exit %d, want 0\n%s", code, out)
+	}
+	if code, out := run(t, "-threshold", "0.05", base, worse); code != 1 {
+		t.Fatalf("regression exit %d, want 1\n%s", code, out)
+	}
+	if code, _ := run(t, "-threshold", "0.05", base); code != 2 {
+		t.Fatal("one positional arg accepted")
+	}
+	if code, _ := run(t, base, filepath.Join(t.TempDir(), "missing.csv")); code != 2 {
+		t.Fatal("unreadable export did not exit 2")
+	}
+	if code, _ := run(t, "-a", "latest", base, same); code != 2 {
+		t.Fatal("-a without -ledger-dir accepted")
+	}
+}
+
+// ledgerFixture records a baseline and a 12%-slower candidate, with the
+// baseline pinned as "blessed".
+func ledgerFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cfg struct {
+		Name string
+		Seed int64
+	}
+	mk := func(seed int64, hmipc float64) string {
+		id, digest, err := ledger.RunID(cfg{"quadMC", seed}, []string{"mix:VH1"}, "test-v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &ledger.Record{
+			Manifest: ledger.Manifest{ID: id, ConfigDigest: digest, Config: "quadMC",
+				Workload: []string{"mix:VH1"}, Seed: seed, SimVersion: "test-v1"},
+			Metrics: map[string]float64{"ipc.hm": hmipc, "power.total.w": 91.5},
+		}
+		if _, err := l.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	baseID := mk(1, 1.25)
+	mk(2, 1.10) // latest: 12% below the baseline
+	if err := l.Tag("blessed", baseID); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLedgerMode pins the ledger-native gate: refs resolve (tags,
+// "latest"), the baseline sits on the -b side, breaches fail with exit
+// 1, unknown refs and usage errors exit 2, and -pin blesses a new
+// baseline only after a clean compare.
+func TestLedgerMode(t *testing.T) {
+	dir := ledgerFixture(t)
+
+	code, out := run(t, "-ledger-dir", dir, "-a", "latest", "-b", "blessed", "-threshold", "0.05")
+	if code != 1 {
+		t.Fatalf("regressed candidate exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "ipc.hm") || !strings.Contains(out, "1 breaches") {
+		t.Fatalf("breach report missing:\n%s", out)
+	}
+
+	// The candidate may not be blessed while it breaches.
+	code, out = run(t, "-ledger-dir", dir, "-a", "latest", "-b", "blessed",
+		"-threshold", "0.05", "-pin", "blessed")
+	if code != 1 || !strings.Contains(out, "not pinning") {
+		t.Fatalf("breaching pin: exit %d\n%s", code, out)
+	}
+
+	// Comparing the baseline against itself is clean, so -pin retags.
+	code, out = run(t, "-ledger-dir", dir, "-a", "blessed", "-b", "blessed",
+		"-threshold", "0.05", "-pin", "known-good")
+	if code != 0 || !strings.Contains(out, `pinned`) {
+		t.Fatalf("clean pin: exit %d\n%s", code, out)
+	}
+	l, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags, err := l.Tags()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tags["known-good"] == "" || tags["known-good"] != tags["blessed"] {
+		t.Fatalf("pin did not land: tags %v", tags)
+	}
+
+	for _, args := range [][]string{
+		{"-ledger-dir", dir, "-a", "latest"},                                             // missing -b
+		{"-ledger-dir", dir, "-a", "latest", "-b", "no-such-run"},                        // unknown ref
+		{"-ledger-dir", dir, "-a", "latest", "-b", "blessed", "x.csv"},                   // positional + ledger
+		{"-ledger-dir", filepath.Join(dir, "nope", "deeper"), "-a", "latest", "-b", "x"}, // unopenable
+	} {
+		if code, out := run(t, args...); code != 2 {
+			t.Fatalf("%v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+
+	// Glob filters apply to ledger metrics too: with ipc.* ignored the
+	// compare is clean.
+	code, out = run(t, "-ledger-dir", dir, "-a", "latest", "-b", "blessed",
+		"-threshold", "0.05", "-ignore", "ipc.*")
+	if code != 0 {
+		t.Fatalf("-ignore in ledger mode: exit %d\n%s", code, out)
 	}
 }
 

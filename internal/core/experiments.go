@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stackedsim/internal/config"
+	"stackedsim/internal/ledger"
 	"stackedsim/internal/stats"
 	"stackedsim/internal/workload"
 )
@@ -55,6 +56,20 @@ type Runner struct {
 	// wall time; a run that exceeds it fails with DeadlineExceeded
 	// without affecting its siblings.
 	RunTimeout time.Duration
+	// Ledger, when non-nil, persists every successful run and serves
+	// repeats from the store: a key whose content address is already
+	// recorded is recalled without simulating (counted in
+	// Status().LedgerHits), making warm sweeps near-instant. Recording
+	// never alters results — the record is written after the run
+	// completes, and a recalled Metrics round-trips exactly. Ledger
+	// write failures are reported on Progress but do not fail the run.
+	// Set before the first run request.
+	Ledger *ledger.Ledger
+	// Experiment labels this runner's manifests in the ledger (e.g.
+	// "fig4"), so /runs can be filtered per experiment.
+	Experiment string
+	// GitRevision is stamped into ledger manifests when known.
+	GitRevision string
 
 	mu   sync.Mutex
 	memo map[string]*inflight
@@ -63,10 +78,11 @@ type Runner struct {
 
 	// Live run-state counters behind Status. Atomics, not mu: Status is
 	// polled from monitor HTTP handlers while workers run.
-	queued    atomic.Int64
-	running   atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
+	queued     atomic.Int64
+	running    atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	ledgerHits atomic.Int64
 
 	// reports collects one RunReport per executed run (memo hits are
 	// not runs), behind its own mutex so Status never contends with the
@@ -98,7 +114,10 @@ type RunnerStatus struct {
 	Running   int64
 	Completed int64
 	Failed    int64
-	Reports   []RunReport
+	// LedgerHits counts runs served from the result ledger instead of
+	// being simulated (always 0 when no Ledger is attached).
+	LedgerHits int64
+	Reports    []RunReport
 }
 
 // Status reports the live run-state counters and a copy of the per-run
@@ -109,11 +128,12 @@ func (r *Runner) Status() RunnerStatus {
 	reports := append([]RunReport(nil), r.reports...)
 	r.reportMu.Unlock()
 	return RunnerStatus{
-		Queued:    r.queued.Load(),
-		Running:   r.running.Load(),
-		Completed: r.completed.Load(),
-		Failed:    r.failed.Load(),
-		Reports:   reports,
+		Queued:     r.queued.Load(),
+		Running:    r.running.Load(),
+		Completed:  r.completed.Load(),
+		Failed:     r.failed.Load(),
+		LedgerHits: r.ledgerHits.Load(),
+		Reports:    reports,
 	}
 }
 
@@ -139,6 +159,9 @@ func (r *Runner) child(warmup, measure int64) *Runner {
 	c.Workers = r.Workers
 	c.Ctx = r.Ctx
 	c.RunTimeout = r.RunTimeout
+	c.Ledger = r.Ledger
+	c.Experiment = r.Experiment
+	c.GitRevision = r.GitRevision
 	c.sem = r.pool()
 	return c
 }
@@ -245,21 +268,73 @@ func (r *Runner) execute(fn func(context.Context) (Metrics, error)) (m Metrics, 
 	return fn(ctx)
 }
 
+// progressf writes one serialized line to the progress writer.
+func (r *Runner) progressf(format string, args ...any) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	fmt.Fprintf(r.Progress, format, args...)
+	r.progressMu.Unlock()
+}
+
+// ledgered wraps a run function with the result ledger: a run whose
+// content address is already recorded is recalled without simulating
+// (the cross-process analogue of the in-process single-flight memo),
+// and a fresh run is recorded after it completes. Recall round-trips
+// Metrics exactly, so a warm sweep is numerically identical to a cold
+// one. Ledger write failures are reported but never fail the run —
+// losing a cache entry is recoverable, losing a finished simulation is
+// not. Harness-recorded manifests carry zero engine-efficiency stats
+// (the run functions do not expose their System); cmd/stacksim records
+// the real counters on its single-run path.
+func (r *Runner) ledgered(run *config.Config, workload []string, fn func(context.Context) (Metrics, error)) func(context.Context) (Metrics, error) {
+	if r.Ledger == nil {
+		return fn
+	}
+	return func(ctx context.Context) (Metrics, error) {
+		id, _, idErr := RunIdentity(run, workload)
+		if idErr == nil && r.Ledger.Has(id) {
+			if rec, err := r.Ledger.Get(id); err == nil {
+				if m, err := RecallMetrics(rec); err == nil {
+					r.ledgerHits.Add(1)
+					r.progressf("hit %-28s %-4s (ledger %s)\n", run.Name, strings.Join(workload, ","), id)
+					return m, nil
+				}
+			}
+		}
+		started := time.Now()
+		m, err := fn(ctx)
+		if err != nil {
+			return m, err
+		}
+		rec, recErr := NewRunRecord(run, workload, &m, EngineReport{}, nil,
+			r.Experiment, r.GitRevision, started, time.Since(started).Seconds())
+		if recErr == nil {
+			_, recErr = r.Ledger.Put(rec)
+		}
+		if recErr != nil {
+			r.progressf("ledger write failed for %s %s: %v\n", run.Name, strings.Join(workload, ","), recErr)
+		}
+		return m, nil
+	}
+}
+
 // startMix enqueues (cfg, mix) without waiting. The config is cloned
 // before returning, so callers may mutate cfg afterwards.
 func (r *Runner) startMix(cfg *config.Config, mix string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, func(ctx context.Context) (Metrics, error) {
+	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, r.ledgered(run, []string{"mix:" + mix}, func(ctx context.Context) (Metrics, error) {
 		return RunMixContext(ctx, run, mix)
-	})
+	}))
 }
 
 // startSingle enqueues a stand-alone single-core benchmark run.
 func (r *Runner) startSingle(cfg *config.Config, benchmark string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, func(ctx context.Context) (Metrics, error) {
+	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, r.ledgered(run, []string{"single:" + benchmark}, func(ctx context.Context) (Metrics, error) {
 		return RunSingleContext(ctx, run, benchmark)
-	})
+	}))
 }
 
 // Prefetch enqueues each (cfg, mix) run without waiting for results, so

@@ -420,6 +420,10 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 	s.Faults.Instrument(reg)
 	s.instrumentEnergy(reg)
 	s.instrumentEngine(reg)
+	// Per-window skipped-cycle column: keeps time-series plots honest
+	// when the engine jumps idle spans — a flat IPC window next to a
+	// large cycles_skipped.window is idle time, not stalled time.
+	tel.Sampler.TrackWindow("engine.cycles_skipped")
 	if tel.Sampler != nil {
 		// Registered last so each sample reflects the end of its cycle,
 		// and on the sampler's own interval so non-boundary cycles skip
@@ -454,6 +458,8 @@ func (s *System) instrumentEngine(reg *telemetry.Registry) {
 	reg.GaugeFunc("engine.skip_ratio", func() float64 { return s.EngineReport().SkipRatio })
 	reg.GaugeFunc("engine.ticks_per_cycle", func() float64 { return s.EngineReport().TicksPerCycle })
 	reg.GaugeFunc("engine.pool_hit_rate", func() float64 { return s.EngineReport().PoolHitRate })
+	reg.GaugeFunc("engine.pool_gets", func() float64 { return float64(s.EngineReport().PoolGets) })
+	reg.GaugeFunc("engine.pool_puts", func() float64 { return float64(s.EngineReport().PoolPuts) })
 }
 
 // dramActivity sums the stacked-channel DRAM counters accumulated since

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sseKeepalive bounds how long an idle /events connection goes without
+// traffic; a comment line keeps proxies from timing the stream out.
+const sseKeepalive = 15 * time.Second
+
+// notifyChan returns the SSE broadcast channel, creating it on first
+// use. Collect closes-and-replaces it per published snapshot while
+// subscribers exist.
+func (s *Server) notifyChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan struct{})
+	}
+	return s.notify
+}
+
+// dashEvent is one /events payload: the window signals the dashboard
+// plots, distilled from the published snapshot. Committed and
+// CyclesSkipped are cumulative; the client differences consecutive
+// events to get per-window rates, so a dropped event never corrupts
+// the series.
+type dashEvent struct {
+	Cycle         int64     `json:"cycle"`
+	Committed     float64   `json:"committed"`
+	MCQueue       []float64 `json:"mc_queue,omitempty"`
+	PowerW        any       `json:"power_w,omitempty"`
+	TempC         any       `json:"temp_c,omitempty"`
+	CyclesSkipped float64   `json:"cycles_skipped"`
+	SkipRatio     any       `json:"skip_ratio,omitempty"`
+	Progress      *Progress `json:"progress,omitempty"`
+}
+
+// eventPayload distills the snapshot into the dashboard's signals.
+func (s *Server) eventPayload(snap *snapshot) []byte {
+	ev := dashEvent{Cycle: int64(snap.cycle)}
+	type mcDepth struct {
+		name string
+		v    float64
+	}
+	var depths []mcDepth
+	for _, sc := range snap.scalars {
+		switch {
+		case strings.HasPrefix(sc.name, "core") && strings.HasSuffix(sc.name, ".committed"):
+			ev.Committed += sc.v
+		case strings.HasPrefix(sc.name, "mc") && strings.HasSuffix(sc.name, ".readq.depth"):
+			depths = append(depths, mcDepth{sc.name, sc.v})
+		case sc.name == "power.total.w":
+			ev.PowerW = jsonNum(sc.v)
+		case sc.name == "thermal.max_dram.c":
+			ev.TempC = jsonNum(sc.v)
+		case sc.name == "engine.cycles_skipped":
+			ev.CyclesSkipped = sc.v
+		case sc.name == "engine.skip_ratio":
+			ev.SkipRatio = jsonNum(sc.v)
+		}
+	}
+	sort.Slice(depths, func(i, j int) bool { return depths[i].name < depths[j].name })
+	for _, d := range depths {
+		ev.MCQueue = append(ev.MCQueue, d.v)
+	}
+	// The tracker's block wins over gauges when both exist (same data,
+	// but present even before the first power sample lands in a gauge).
+	if snap.pt != nil {
+		ev.PowerW = jsonNum(snap.pt.TotalPowerW)
+		ev.TempC = jsonNum(snap.pt.MaxDRAMTempC)
+	}
+	if p, ok := s.progress(); ok {
+		ev.Progress = &p
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return []byte(`{"error":"marshal"}`)
+	}
+	return data
+}
+
+// handleEvents streams the published snapshots as Server-Sent Events:
+// one "data:" line per Collect, an immediate event on connect (the
+// handshake), and comment keepalives while the simulation is idle. The
+// subscriber count gates the broadcast, so a run nobody watches never
+// pays more than one atomic load per Collect.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	s.sseClients.Add(1)
+	defer s.sseClients.Add(-1)
+
+	keepalive := time.NewTimer(sseKeepalive)
+	defer keepalive.Stop()
+	sent := false
+	var lastCycle int64 = -1
+	for {
+		// Grab the broadcast channel before reading the snapshot: a
+		// Collect that lands between the two closes this channel, so the
+		// wait below returns immediately instead of missing the update.
+		ch := s.notifyChan()
+		snap := s.copySnapshot()
+		if !sent || int64(snap.cycle) != lastCycle {
+			fmt.Fprintf(w, "data: %s\n\n", s.eventPayload(&snap))
+			fl.Flush()
+			sent = true
+			lastCycle = int64(snap.cycle)
+		}
+		if !keepalive.Stop() {
+			select {
+			case <-keepalive.C:
+			default:
+			}
+		}
+		keepalive.Reset(sseKeepalive)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// handleDashboard serves the live run dashboard: a dependency-free HTML
+// page that subscribes to /events and plots the window signals.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}

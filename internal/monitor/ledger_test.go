@@ -1,0 +1,318 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stackedsim/internal/ledger"
+	"stackedsim/internal/sim"
+	"stackedsim/internal/telemetry"
+)
+
+// ledgerFixture builds a deterministic two-run store: a baseline and a
+// candidate with one regressed metric, with the baseline pinned under
+// the "blessed" tag. Record contents are fixed so the endpoint goldens
+// are stable.
+func ledgerFixture(t *testing.T) (*ledger.Ledger, string, string) {
+	t.Helper()
+	l, err := ledger.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cfg struct {
+		Name string
+		Seed int64
+	}
+	mk := func(name string, seed int64, hmipc float64) string {
+		id, digest, err := ledger.RunID(cfg{name, seed}, []string{"mix:VH1"}, "golden-v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &ledger.Record{
+			Manifest: ledger.Manifest{
+				ID: id, ConfigDigest: digest, Config: name,
+				Workload: []string{"mix:VH1"}, Seed: seed, Experiment: "golden",
+				SimVersion: "golden-v1", StartedAt: "2026-08-08T00:00:00Z",
+				WallSeconds: 2.5, Cycles: 600000,
+				Engine: ledger.EngineStats{TicksDelivered: 1200, CyclesSkipped: 300,
+					TicksPerCycle: 2, SkipRatio: 0.5, PoolHitRate: 0.9},
+			},
+			Metrics: map[string]float64{
+				"ipc.hm":        hmipc,
+				"power.total.w": 91.5,
+				"mpki.0":        5.25,
+			},
+			Summary: []byte(`{"HMIPC":` + "1.25" + `}`),
+		}
+		if _, err := l.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	baseID := mk("quadMC", 1, 1.25)
+	candID := mk("quadMC", 2, 1.10) // 12% below baseline: a breach at 5%
+	if err := l.Tag("blessed", baseID); err != nil {
+		t.Fatal(err)
+	}
+	return l, baseID, candID
+}
+
+func ledgerServer(t *testing.T) (*Server, *httptest.Server, string, string) {
+	t.Helper()
+	l, baseID, candID := ledgerFixture(t)
+	s := &Server{Ledger: l}
+	s.Collect(0)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, baseID, candID
+}
+
+// checkGolden compares got against the named golden file (run with
+// -update to rewrite). Run IDs are content-derived and fixed, so the
+// bodies are byte-stable.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("response drifted from golden %s.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestRunsEndpointGolden(t *testing.T) {
+	_, ts, _, _ := ledgerServer(t)
+	body, ctype := get(t, ts.URL+"/runs")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("content type %q", ctype)
+	}
+	checkGolden(t, "runs_golden.json", body)
+}
+
+func TestRunsEndpointFilters(t *testing.T) {
+	_, ts, baseID, _ := ledgerServer(t)
+	var out struct {
+		Runs []ledger.Manifest `json:"runs"`
+	}
+	body, _ := get(t, ts.URL+"/runs?experiment=golden")
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 2 {
+		t.Fatalf("experiment filter: %d runs, want 2", len(out.Runs))
+	}
+	body, _ = get(t, ts.URL+"/runs?digest="+baseID)
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 || out.Runs[0].ID != baseID {
+		t.Fatalf("digest filter: %+v", out.Runs)
+	}
+	body, _ = get(t, ts.URL+"/runs?experiment=none")
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 0 {
+		t.Fatalf("non-matching filter returned runs: %+v", out.Runs)
+	}
+}
+
+func TestRunEndpointGolden(t *testing.T) {
+	_, ts, baseID, _ := ledgerServer(t)
+	body, _ := get(t, ts.URL+"/runs/"+baseID)
+	checkGolden(t, "run_golden.json", body)
+	// Tag and "latest" refs resolve through the same endpoint.
+	tagged, _ := get(t, ts.URL+"/runs/blessed")
+	if tagged != body {
+		t.Fatal("tag ref served a different record than its run ID")
+	}
+	if resp, err := http.Get(ts.URL + "/runs/no-such-run"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown run = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestCompareEndpointGolden(t *testing.T) {
+	_, ts, _, _ := ledgerServer(t)
+	body, _ := get(t, ts.URL+"/compare?a=latest&b=blessed&threshold=0.05")
+	checkGolden(t, "compare_golden.json", body)
+	var out struct {
+		Breaches int `json:"breaches"`
+		Deltas   []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"deltas"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Breaches != 1 {
+		t.Fatalf("breaches = %d, want 1 (ipc.hm regressed 12%%)", out.Breaches)
+	}
+	for _, d := range out.Deltas {
+		if d.Name == "ipc.hm" && d.Kind != "breach" {
+			t.Fatalf("ipc.hm kind = %s, want breach", d.Kind)
+		}
+	}
+}
+
+func TestCompareHTMLHighlights(t *testing.T) {
+	_, ts, _, _ := ledgerServer(t)
+	body, ctype := get(t, ts.URL+"/compare?a=latest&b=blessed&format=html")
+	if !strings.Contains(ctype, "text/html") {
+		t.Fatalf("content type %q", ctype)
+	}
+	if !strings.Contains(body, `class="breach"`) {
+		t.Fatalf("breach row not highlighted:\n%s", body)
+	}
+	if !strings.Contains(body, "ipc.hm") {
+		t.Fatal("metric names missing from HTML table")
+	}
+}
+
+func TestCompareEndpointErrors(t *testing.T) {
+	_, ts, _, _ := ledgerServer(t)
+	for url, want := range map[string]int{
+		"/compare":                                http.StatusBadRequest,
+		"/compare?a=latest":                       http.StatusBadRequest,
+		"/compare?a=latest&b=nope":                http.StatusNotFound,
+		"/compare?a=latest&b=blessed&threshold=x": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestLedgerEndpointsWithoutLedger(t *testing.T) {
+	s := &Server{}
+	s.Collect(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, url := range []string{"/runs", "/runs/abc", "/compare?a=x&b=y"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without ledger = %d, want 404", url, resp.StatusCode)
+		}
+	}
+}
+
+// readSSEEvent reads lines until one "data: {...}" event arrives.
+func readSSEEvent(t *testing.T, r *bufio.Reader) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream closed early: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &ev); err != nil {
+				t.Fatalf("SSE event is not JSON: %v\n%s", err, line)
+			}
+			return ev
+		}
+	}
+	t.Fatal("no SSE event within deadline")
+	return nil
+}
+
+// TestSSEHandshake pins the /events contract: the handshake event
+// arrives immediately on connect with the last published snapshot, and
+// each subsequent Collect pushes a fresh event.
+func TestSSEHandshake(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	committed := reg.Gauge("core0.committed")
+	committed.Set(1000)
+	reg.Gauge("mc0.readq.depth").Set(3)
+	s := &Server{Registry: reg}
+	s.Collect(5000)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("content type %q is not SSE", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	ev := readSSEEvent(t, r)
+	if ev["cycle"].(float64) != 5000 || ev["committed"].(float64) != 1000 {
+		t.Fatalf("handshake event = %v", ev)
+	}
+	if q := ev["mc_queue"].([]any); len(q) != 1 || q[0].(float64) != 3 {
+		t.Fatalf("mc_queue = %v", ev["mc_queue"])
+	}
+
+	// A later Collect must push a second event without the client asking.
+	committed.Set(2500)
+	deadline := time.Now().Add(3 * time.Second)
+	pushed := make(chan map[string]any, 1)
+	go func() {
+		defer func() { recover() }() //nolint:errcheck // reader may fail after test ends
+		pushed <- readSSEEvent(t, r)
+	}()
+	// Collect from this goroutine (the "sim loop"); retry until the
+	// handler has re-armed on the broadcast channel.
+	var ev2 map[string]any
+	for ev2 == nil && time.Now().Before(deadline) {
+		s.Collect(6000)
+		select {
+		case ev2 = <-pushed:
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if ev2 == nil {
+		t.Fatal("no pushed event after Collect")
+	}
+	if ev2["cycle"].(float64) != 6000 || ev2["committed"].(float64) != 2500 {
+		t.Fatalf("pushed event = %v", ev2)
+	}
+}
+
+// TestSSEZeroPerturbation pins the no-subscriber fast path: Collect on
+// a server nobody watches never allocates or touches a broadcast
+// channel.
+func TestSSEZeroPerturbation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := &Server{Registry: reg}
+	for i := 0; i < 100; i++ {
+		s.Collect(sim.Cycle(i))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify != nil {
+		t.Fatal("Collect created a broadcast channel with no subscribers")
+	}
+}

@@ -2,14 +2,22 @@
 // simulation over HTTP: /metrics (Prometheus text exposition rendered
 // from the telemetry registry), /snapshot (a JSON point-in-time dump
 // including the attribution breakdown and parallel-runner progress),
-// /healthz, and the stdlib pprof handlers.
+// /healthz, and the stdlib pprof handlers. With a run ledger attached
+// it also serves the cross-run surface — /runs (list + filter), /runs/
+// {id} (full manifest + metrics), /compare?a=&b= (threshold-classified
+// delta) — and a live /dashboard page fed by /events, a Server-Sent
+// Events stream of the published snapshots.
 //
 // The simulation loop and the HTTP handlers never share the registry:
 // the loop publishes a snapshot under a brief mutex via Collect (wired
 // as an engine ticker), handlers copy it under the same mutex and
 // render outside it. A slow scraper therefore can never block a
 // simulated cycle, and the registry — which is not safe for concurrent
-// access — is only ever read from the simulation goroutine.
+// access — is only ever read from the simulation goroutine. The SSE
+// path keeps the same property: with no subscriber connected, Collect
+// pays one atomic load and nothing else; with subscribers, it closes a
+// broadcast channel under the same brief mutex. Ledger handlers read
+// only the append-only store on disk, never the simulation.
 package monitor
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"stackedsim/internal/attrib"
+	"stackedsim/internal/ledger"
 	"stackedsim/internal/sim"
 	"stackedsim/internal/telemetry"
 )
@@ -35,6 +44,9 @@ type Progress struct {
 	Running   int64 `json:"running"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// LedgerHits counts runs served from the result ledger instead of
+	// being simulated.
+	LedgerHits int64 `json:"ledger_hits,omitempty"`
 	// Runs, when supplied, lists every executed run so /snapshot shows
 	// which ones failed (Err != "") and which ran slow.
 	Runs []RunReport `json:"runs,omitempty"`
@@ -120,11 +132,24 @@ type Server struct {
 	// registry it is polled from handler goroutines, so it must be
 	// safe for concurrent use (core.Runner's Status is atomics-backed).
 	ProgressFn func() Progress
+	// Ledger, when set, backs the /runs, /runs/{id} and /compare
+	// endpoints. The ledger is safe for concurrent use and its handlers
+	// only touch the on-disk store, never the simulation.
+	Ledger *ledger.Ledger
 
 	mu   sync.Mutex
 	snap snapshot
+	// notify is the SSE broadcast channel: closed and replaced under mu
+	// by Collect whenever subscribers exist, so every waiting /events
+	// handler wakes per published snapshot. Lazily created; nil until
+	// the first subscriber asks for it.
+	notify chan struct{}
 
 	collects atomic.Int64
+	// sseClients gates the broadcast: Collect pays one atomic load when
+	// it is zero, preserving the zero-perturbation contract for runs
+	// nobody is watching.
+	sseClients atomic.Int64
 
 	ln  net.Listener
 	srv *http.Server
@@ -156,6 +181,10 @@ func (s *Server) Collect(now sim.Cycle) {
 	}
 	s.mu.Lock()
 	s.snap = snap
+	if s.sseClients.Load() > 0 && s.notify != nil {
+		close(s.notify)
+		s.notify = make(chan struct{})
+	}
 	s.mu.Unlock()
 	s.collects.Add(1)
 }
@@ -187,6 +216,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/runs/{id}", s.handleRun)
+	mux.HandleFunc("/compare", s.handleCompare)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -82,6 +82,7 @@ func writePrometheus(w io.Writer, snap *snapshot, prog *Progress) {
 		add("stacksim_runs_running", "gauge", prog.Running)
 		add("stacksim_runs_completed", "counter", prog.Completed)
 		add("stacksim_runs_failed", "counter", prog.Failed)
+		add("stacksim_runs_ledger_hits", "counter", prog.LedgerHits)
 	}
 
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].name < lines[j].name })

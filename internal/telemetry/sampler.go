@@ -16,6 +16,10 @@ import (
 type Sample struct {
 	Cycle  sim.Cycle
 	Values []float64
+	// Window holds the per-window deltas of the metrics registered with
+	// TrackWindow, in TrackWindow order: this sample's cumulative value
+	// minus the previous sample's. Exported as "<name>.window" columns.
+	Window []float64
 }
 
 // Sampler snapshots the registry every Every cycles. Register it with
@@ -26,9 +30,11 @@ type Sample struct {
 // The sampler only reads component state, so its presence cannot change
 // simulation results. A nil *Sampler is a no-op Ticker.
 type Sampler struct {
-	reg   *Registry
-	every sim.Cycle
-	rows  []Sample
+	reg    *Registry
+	every  sim.Cycle
+	rows   []Sample
+	window []string
+	prev   map[string]float64
 }
 
 // NewSampler returns a sampler snapshotting reg every `every` cycles
@@ -51,6 +57,28 @@ func (s *Sampler) Every() sim.Cycle {
 	return s.every
 }
 
+// TrackWindow adds a derived per-window column for a cumulative metric:
+// each sample additionally records name's delta since the previous
+// sample, exported as "<name>.window" after the registry columns. This
+// keeps time-series plots honest for counters that jump across
+// idle-skipped spans (e.g. engine.cycles_skipped) — the cumulative
+// column shows the running total, the window column shows how much of
+// each interval was skipped. Delta state lives in the sampler, not in a
+// registry gauge, so polling the registry elsewhere (monitor snapshots)
+// cannot perturb it. Call before the run starts; duplicate names are
+// ignored.
+func (s *Sampler) TrackWindow(name string) {
+	if s == nil {
+		return
+	}
+	for _, n := range s.window {
+		if n == name {
+			return
+		}
+	}
+	s.window = append(s.window, name)
+}
+
 // Tick snapshots the registry on sample boundaries.
 func (s *Sampler) Tick(now sim.Cycle) {
 	if s == nil || now%s.every != 0 {
@@ -71,7 +99,19 @@ func (s *Sampler) Snapshot(now sim.Cycle) {
 			vals = append(vals, v)
 		}
 	}
-	s.rows = append(s.rows, Sample{Cycle: now, Values: vals})
+	var win []float64
+	if len(s.window) > 0 {
+		if s.prev == nil {
+			s.prev = make(map[string]float64, len(s.window))
+		}
+		win = make([]float64, len(s.window))
+		for i, name := range s.window {
+			cur, _ := s.reg.value(name)
+			win[i] = cur - s.prev[name]
+			s.prev[name] = cur
+		}
+	}
+	s.rows = append(s.rows, Sample{Cycle: now, Values: vals, Window: win})
 }
 
 // Finalize closes the time-series at the end of a run: when the run's
@@ -109,6 +149,16 @@ func (s *Sampler) scalarNames() []string {
 	return names
 }
 
+// windowNames reports the derived per-window column names in
+// TrackWindow order.
+func (s *Sampler) windowNames() []string {
+	names := make([]string, len(s.window))
+	for i, n := range s.window {
+		names[i] = n + ".window"
+	}
+	return names
+}
+
 // formatValue renders v compactly and deterministically: integers
 // without a decimal point, everything else with %g.
 func formatValue(v float64) string {
@@ -125,9 +175,14 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 		return nil
 	}
 	names := s.scalarNames()
+	winNames := s.windowNames()
 	var b strings.Builder
 	b.WriteString("cycle")
 	for _, n := range names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	for _, n := range winNames {
 		b.WriteByte(',')
 		b.WriteString(n)
 	}
@@ -138,6 +193,14 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 			b.WriteByte(',')
 			if i < len(row.Values) {
 				b.WriteString(formatValue(row.Values[i]))
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		for i := range winNames {
+			b.WriteByte(',')
+			if i < len(row.Window) {
+				b.WriteString(formatValue(row.Window[i]))
 			} else {
 				b.WriteByte('0')
 			}
@@ -155,6 +218,7 @@ func (s *Sampler) WriteJSONL(w io.Writer) error {
 		return nil
 	}
 	names := s.scalarNames()
+	winNames := s.windowNames()
 	var b strings.Builder
 	for _, row := range s.rows {
 		fmt.Fprintf(&b, `{"cycle":%d,"metrics":{`, int64(row.Cycle))
@@ -165,6 +229,16 @@ func (s *Sampler) WriteJSONL(w io.Writer) error {
 			v := 0.0
 			if i < len(row.Values) {
 				v = row.Values[i]
+			}
+			fmt.Fprintf(&b, "%q:%s", n, formatValue(v))
+		}
+		for i, n := range winNames {
+			if len(names) > 0 || i > 0 {
+				b.WriteByte(',')
+			}
+			v := 0.0
+			if i < len(row.Window) {
+				v = row.Window[i]
 			}
 			fmt.Fprintf(&b, "%q:%s", n, formatValue(v))
 		}

@@ -138,6 +138,54 @@ func TestSamplerSnapshotsAndCSV(t *testing.T) {
 	}
 }
 
+// TestSamplerTrackWindow pins the derived per-window column contract:
+// a cumulative counter tracked with TrackWindow gains a "<name>.window"
+// column holding each interval's delta, appended after the registry
+// columns in both CSV and JSONL.
+func TestSamplerTrackWindow(t *testing.T) {
+	reg := NewRegistry()
+	skipped := 0.0
+	reg.GaugeFunc("engine.cycles_skipped", func() float64 { return skipped })
+	s := NewSampler(reg, 10)
+	s.TrackWindow("engine.cycles_skipped")
+	s.TrackWindow("engine.cycles_skipped") // duplicate is ignored
+	for now := int64(1); now <= 30; now++ {
+		if now%2 == 0 {
+			skipped++ // 5 skips per 10-cycle window
+		}
+		s.Tick(cyc(now))
+	}
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("%d samples, want 3", len(rows))
+	}
+	// First window's delta is the cumulative value at the first sample;
+	// later windows are true deltas.
+	for i, want := range []float64{5, 5, 5} {
+		if len(rows[i].Window) != 1 || rows[i].Window[0] != want {
+			t.Fatalf("row %d window = %v, want [%v]", i, rows[i].Window, want)
+		}
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "cycle,engine.cycles_skipped,engine.cycles_skipped.window" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "20,10,5" {
+		t.Fatalf("row = %q, want cumulative 10 and window 5", lines[2])
+	}
+	var j strings.Builder
+	if err := s.WriteJSONL(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `"engine.cycles_skipped":10,"engine.cycles_skipped.window":5`) {
+		t.Fatalf("jsonl missing window column: %s", j.String())
+	}
+}
+
 // TestSamplerFinalizeCapturesTail pins the end-of-run contract: a run
 // whose final cycle is not a sample boundary still exports its tail
 // partial interval, and Finalize is idempotent — calling it twice, or

@@ -39,8 +39,16 @@
 #      -ignore of power.*/thermal.*/engine.* checks tracking perturbed
 #      nothing (engine.* tick-delivery gauges legitimately differ: the
 #      tracker is an extra registered component).
+#   7. The same run with -ledger-dir on vs off (best wall of three,
+#      fresh store each iteration so every run pays the record write),
+#      emitting BENCH_ledger.json. The PR gate is a <=2% write
+#      overhead. The section then proves the dedupe path (a warm
+#      re-run of a recorded run prints a cache hit and skips the
+#      simulation), pins the recorded run as the "blessed" baseline
+#      with statsdiff -pin, and gates latest-vs-blessed through
+#      statsdiff -ledger-dir (exit 0 required).
 #
-# Measurements 3-6 pass -power=false on their baselines so each one
+# Measurements 3-7 pass -power=false on their baselines so each one
 # isolates its own subsystem's cost.
 #
 # Usage: scripts/bench.sh [outdir]   (default outdir: results)
@@ -366,3 +374,65 @@ echo "== statsdiff power-on vs power-off (-ignore 'power.*,thermal.*,engine.*')"
 "$dbin" -threshold 0.0001 -ignore 'power.*,thermal.*,engine.*' \
     "$attrib_off/timeseries.csv" "$pt_tmp/power_on/timeseries.csv" \
     || echo "bench: WARNING: power/thermal tracking changed shared metrics (parity bug)"
+
+# Run-ledger cost and dedupe. The write overhead is measured against
+# the shared attrib-off baseline with a fresh store per iteration
+# (best_wall's rm -rf clears the store nested under the telemetry dir),
+# so every iteration pays the full record write; the manifest wall
+# includes it because stacksim records before the telemetry export.
+ledger_tmp=$(mktemp -d)
+echo "== ledger on (best of 3): $attrib_args -ledger-dir <fresh store>"
+ledger_on_wall=$(best_wall "$ledger_tmp/on" -attrib=false -power=false -ledger-dir "$ledger_tmp/on/store")
+
+ledger_overhead=$(awk -v on="$ledger_on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.4f", (off > 0) ? (on - off) / off : 0 }')
+ledger_gate=$(awk -v o="$ledger_overhead" 'BEGIN { print (o <= 0.02) ? "pass" : "fail" }')
+
+# Dedupe proof: record once into a persistent store (no telemetry, so
+# the warm re-run is eligible for the cache), then re-run the identical
+# (config, mix, seed) and require the served-from-ledger line.
+store="$ledger_tmp/store"
+echo "== ledger dedupe: cold run then warm re-run of the same (config, mix, seed)"
+# shellcheck disable=SC2086
+"$sbin" $attrib_args -ledger-dir "$store" > "$ledger_tmp/cold.txt"
+# shellcheck disable=SC2086
+"$sbin" $attrib_args -ledger-dir "$store" > "$ledger_tmp/warm.txt"
+if grep -q "ledger: cache hit" "$ledger_tmp/warm.txt"; then
+    dedupe_status=pass
+    grep "ledger: cache hit" "$ledger_tmp/warm.txt"
+else
+    dedupe_status=fail
+fi
+
+# Baseline-tag workflow: bless the recorded run, then gate latest
+# against the blessed tag — the cross-run regression gate bench.sh
+# itself now depends on.
+echo "== statsdiff: pin blessed baseline, then gate latest vs blessed"
+if "$dbin" -ledger-dir "$store" -a latest -b latest -threshold 0.05 -pin blessed > /dev/null &&
+    "$dbin" -ledger-dir "$store" -a latest -b blessed -threshold 0.05; then
+    tag_gate=pass
+else
+    tag_gate=fail
+fi
+
+cat > "$outdir/BENCH_ledger.json" <<EOF
+{
+  "run": "quadMC VH1 @ warmup=50000 measure=600000, best wall of 3",
+  "ledger_on_wall_seconds": $ledger_on_wall,
+  "ledger_off_wall_seconds": $off_wall,
+  "ledger_write_overhead": $ledger_overhead,
+  "overhead_budget": 0.02,
+  "overhead_gate_status": "$ledger_gate",
+  "dedupe_cache_hit": "$dedupe_status",
+  "baseline_tag_gate": "$tag_gate"
+}
+EOF
+echo "== $outdir/BENCH_ledger.json"
+cat "$outdir/BENCH_ledger.json"
+if [ "$ledger_gate" = fail ]; then
+    echo "bench: WARNING: ledger write overhead $ledger_overhead above 2% budget"
+fi
+if [ "$dedupe_status" = fail ] || [ "$tag_gate" = fail ]; then
+    echo "bench: ERROR: ledger dedupe=$dedupe_status baseline_tag_gate=$tag_gate"
+    exit 1
+fi

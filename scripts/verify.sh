@@ -22,7 +22,9 @@
 # carry the pooled request / MSHR-entry free lists: their lifecycle
 # tests (reuse, double-release panics) run here so a pooling bug that
 # only manifests with the race detector's reordering still fails
-# tier-1.
+# tier-1. internal/ledger joins the race pass because the Runner's
+# workers record runs into one shared store (the O_APPEND index and
+# tag writes are mutex-guarded) while monitor handlers read it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,8 +37,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
