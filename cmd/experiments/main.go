@@ -18,6 +18,11 @@
 // served from it without simulating, so re-generating a figure after an
 // unrelated change is nearly free. The monitor then also serves /runs,
 // /compare and the /dashboard over the same store.
+//
+// With -farm host:port each simulation is dispatched to a sim-farm
+// coordinator (cmd/simfarm) instead of running in-process. Figures are
+// byte-identical either way; worker deaths mid-sweep are absorbed by
+// the farm's checkpointed failover.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"stackedsim/internal/config"
 	"stackedsim/internal/core"
+	"stackedsim/internal/farm"
 	"stackedsim/internal/floorplan"
 	"stackedsim/internal/ledger"
 	"stackedsim/internal/monitor"
@@ -49,6 +55,15 @@ type perfReport struct {
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Workers     int     `json:"workers"`
 	LedgerHits  int64   `json:"ledger_hits"`
+	// LedgerWriteRetries counts retried transient ledger writes
+	// (0 when no ledger is attached).
+	LedgerWriteRetries int64 `json:"ledger_write_retries,omitempty"`
+	// Farm is the coordinator address when runs were dispatched
+	// remotely via -farm.
+	Farm string `json:"farm,omitempty"`
+	// Interrupted marks a sweep cancelled by SIGINT/SIGTERM or a
+	// deadline: the stats cover only the runs that finished.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 func main() { os.Exit(run()) }
@@ -67,6 +82,7 @@ func run() int {
 		monAddr = flag.String("monitor-addr", "", "serve live runner progress (/metrics, /snapshot, /healthz, pprof) on this address")
 		ledDir  = flag.String("ledger-dir", "", "content-addressed run ledger: record completed runs here and serve known runs from it without re-simulating")
 		runTmo  = flag.Duration("run-timeout", 0, "per-simulation wall-time limit (0 = none); an over-budget run fails alone")
+		farmFlg = flag.String("farm", "", "dispatch simulations to the sim-farm coordinator at this address (host:port) instead of simulating in-process")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -109,11 +125,21 @@ func run() int {
 	// whose runs completed still prints before exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// After the first signal the sweep only drains (figures print, perf
+	// JSON flushes); restore the default signal disposition so a second
+	// ^C exits immediately instead of being silently swallowed.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	r := core.NewRunner(*warmup, *measure)
 	r.Workers = *jobs
 	r.Ctx = ctx
 	r.RunTimeout = *runTmo
+	if *farmFlg != "" {
+		r.Farm = farm.NewClient(*farmFlg)
+	}
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -137,7 +163,7 @@ func run() int {
 		mon := &monitor.Server{Ledger: led, ProgressFn: func() monitor.Progress {
 			st := r.Status()
 			p := monitor.Progress{Queued: st.Queued, Running: st.Running, Completed: st.Completed,
-				Failed: st.Failed, LedgerHits: st.LedgerHits}
+				Failed: st.Failed, LedgerHits: st.LedgerHits, LedgerWriteRetries: st.LedgerWriteRetries}
 			for _, rep := range st.Reports {
 				mr := monitor.RunReport{Config: rep.Config, Label: rep.Label, WallSeconds: rep.WallSeconds}
 				if rep.Err != nil {
@@ -256,12 +282,16 @@ func run() int {
 		if workers < 1 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		st := r.Status()
 		rep := perfReport{
-			WallSeconds: wall,
-			Runs:        r.Runs(),
-			GOMAXPROCS:  runtime.GOMAXPROCS(0),
-			Workers:     workers,
-			LedgerHits:  r.Status().LedgerHits,
+			WallSeconds:        wall,
+			Runs:               r.Runs(),
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			Workers:            workers,
+			LedgerHits:         st.LedgerHits,
+			LedgerWriteRetries: st.LedgerWriteRetries,
+			Farm:               *farmFlg,
+			Interrupted:        ctx.Err() != nil,
 		}
 		if wall > 0 {
 			rep.RunsPerSec = float64(rep.Runs) / wall
@@ -279,6 +309,9 @@ func run() int {
 	if led != nil {
 		fmt.Fprintf(os.Stderr, "ledger: %d of %d runs served from %s\n",
 			r.Status().LedgerHits, r.Runs(), led.Dir())
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; completed figures and perf stats were flushed")
 	}
 	if failed > 0 {
 		// Surface which runs went wrong (the first error per run), then

@@ -346,6 +346,24 @@ func main() {
 		if col != nil {
 			mon.AttribFn = col.Breakdown
 		}
+		if *checkpoint != "" {
+			// A checkpointed run's crash-recovery story depends on the
+			// checkpoint directory staying writable; surface trouble on
+			// /healthz as degraded instead of only failing at the next
+			// periodic write.
+			dir := filepath.Dir(*checkpoint)
+			mon.HealthFn = func() []monitor.HealthCheck {
+				check := monitor.HealthCheck{Name: "checkpoint", Status: "ok", Detail: dir}
+				if probe, err := os.CreateTemp(dir, ".healthz-*"); err != nil {
+					check.Status = "degraded"
+					check.Detail = err.Error()
+				} else {
+					probe.Close()
+					os.Remove(probe.Name())
+				}
+				return []monitor.HealthCheck{check}
+			}
+		}
 		if pt != nil {
 			// Collect runs on the simulation goroutine, so reading the
 			// tracker here is race-free.

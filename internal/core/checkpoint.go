@@ -55,6 +55,20 @@ func (c *Checkpoint) Write(path string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// Validate checks structural soundness. Checkpoints arrive from disk
+// (LoadCheckpoint) but also over the wire — a farm coordinator hands a
+// dead worker's last uploaded checkpoint to its successor — so the
+// checks live here, independent of any file path.
+func (c *Checkpoint) Validate() error {
+	if c.Version != checkpointVersion {
+		return fmt.Errorf("has format version %d, this build reads %d", c.Version, checkpointVersion)
+	}
+	if c.Config == nil || len(c.Benchmarks) == 0 || c.Cycle < 0 {
+		return fmt.Errorf("is incomplete")
+	}
+	return nil
+}
+
 // LoadCheckpoint reads and validates a checkpoint file.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
@@ -68,11 +82,8 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("checkpoint %s is corrupt: %w", path, err)
 	}
-	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint %s has format version %d, this build reads %d", path, c.Version, checkpointVersion)
-	}
-	if c.Config == nil || len(c.Benchmarks) == 0 || c.Cycle < 0 {
-		return nil, fmt.Errorf("checkpoint %s is incomplete", path)
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s %v", path, err)
 	}
 	return &c, nil
 }
@@ -97,10 +108,21 @@ func (s *System) Checkpoint() *Checkpoint {
 // CheckpointPlan configures RunCheckpointed: write a checkpoint to
 // Path every Every cycles (0 = only on cancellation), and, with
 // Resume, fast-forward to the checkpoint at Path before continuing.
+//
+// From resumes from an in-memory checkpoint instead of loading Path —
+// the sim-farm path, where a re-dispatched job carries the dead
+// worker's last uploaded checkpoint in its lease rather than a file.
+// Sink, when non-nil, receives every checkpoint the run emits (the
+// periodic ones and the final one on cancellation) in addition to any
+// Path write; farm workers upload these with their lease heartbeats.
+// Sink is called on the simulating goroutine with a freshly built
+// Checkpoint the callee may retain.
 type CheckpointPlan struct {
 	Every  int64
 	Path   string
 	Resume bool
+	From   *Checkpoint
+	Sink   func(*Checkpoint)
 }
 
 // advance steps the simulation to absolute cycle target under ctx,
@@ -138,21 +160,39 @@ func (s *System) advance(ctx context.Context, target sim.Cycle) error {
 // divergent simulation (wrong binary, edited config, wrong seed).
 func (s *System) RunCheckpointed(ctx context.Context, plan CheckpointPlan) (Metrics, error) {
 	total := sim.Cycle(s.Cfg.WarmupCycles + s.Cfg.MeasureCycles)
-	if plan.Resume {
-		cp, err := LoadCheckpoint(plan.Path)
+	cp := plan.From
+	if cp == nil && plan.Resume {
+		loaded, err := LoadCheckpoint(plan.Path)
 		if err != nil {
 			return Metrics{}, err
 		}
+		cp = loaded
+	}
+	if cp != nil {
+		if err := cp.Validate(); err != nil {
+			return Metrics{}, fmt.Errorf("checkpoint %v", err)
+		}
 		if sim.Cycle(cp.Cycle) > total {
-			return Metrics{}, fmt.Errorf("checkpoint %s is at cycle %d, beyond this run's %d total cycles", plan.Path, cp.Cycle, total)
+			return Metrics{}, fmt.Errorf("checkpoint is at cycle %d, beyond this run's %d total cycles", cp.Cycle, total)
 		}
 		if err := s.advance(ctx, sim.Cycle(cp.Cycle)); err != nil {
 			return s.Collect(), err
 		}
 		if d := s.Digest(); d != cp.Digest {
-			return Metrics{}, fmt.Errorf("checkpoint %s digest mismatch: replayed %#x, recorded %#x (different binary, config or seed?)", plan.Path, d, cp.Digest)
+			return Metrics{}, fmt.Errorf("checkpoint digest mismatch: replayed %#x, recorded %#x (different binary, config or seed?)", d, cp.Digest)
 		}
 	}
+	emit := func() error {
+		c := s.Checkpoint()
+		if plan.Sink != nil {
+			plan.Sink(c)
+		}
+		if plan.Path != "" {
+			return c.Write(plan.Path)
+		}
+		return nil
+	}
+	emitting := plan.Path != "" || plan.Sink != nil
 	for s.Engine.Now() < total {
 		next := total
 		if plan.Every > 0 {
@@ -161,15 +201,15 @@ func (s *System) RunCheckpointed(ctx context.Context, plan CheckpointPlan) (Metr
 			}
 		}
 		if err := s.advance(ctx, next); err != nil {
-			if plan.Path != "" {
-				if werr := s.Checkpoint().Write(plan.Path); werr != nil {
+			if emitting {
+				if werr := emit(); werr != nil {
 					return s.Collect(), fmt.Errorf("%w (and checkpoint write failed: %v)", err, werr)
 				}
 			}
 			return s.Collect(), err
 		}
-		if plan.Path != "" && plan.Every > 0 && s.Engine.Now() < total {
-			if err := s.Checkpoint().Write(plan.Path); err != nil {
+		if emitting && plan.Every > 0 && s.Engine.Now() < total {
+			if err := emit(); err != nil {
 				return s.Collect(), err
 			}
 		}

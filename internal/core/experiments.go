@@ -70,6 +70,13 @@ type Runner struct {
 	Experiment string
 	// GitRevision is stamped into ledger manifests when known.
 	GitRevision string
+	// Farm, when non-nil, dispatches simulations to a remote sim-farm
+	// coordinator instead of executing them in-process. The worker pool,
+	// memo, ledger recall/record and progress reporting all behave
+	// exactly as for local runs — only the innermost "simulate" step is
+	// replaced by a farm round trip, so figures are byte-identical
+	// either way. Set before the first run request.
+	Farm FarmBackend
 
 	mu   sync.Mutex
 	memo map[string]*inflight
@@ -78,11 +85,12 @@ type Runner struct {
 
 	// Live run-state counters behind Status. Atomics, not mu: Status is
 	// polled from monitor HTTP handlers while workers run.
-	queued     atomic.Int64
-	running    atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	ledgerHits atomic.Int64
+	queued        atomic.Int64
+	running       atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	ledgerHits    atomic.Int64
+	ledgerRetries atomic.Int64
 
 	// reports collects one RunReport per executed run (memo hits are
 	// not runs), behind its own mutex so Status never contends with the
@@ -117,7 +125,17 @@ type RunnerStatus struct {
 	// LedgerHits counts runs served from the result ledger instead of
 	// being simulated (always 0 when no Ledger is attached).
 	LedgerHits int64
-	Reports    []RunReport
+	// LedgerWriteRetries counts transient ledger write failures that
+	// were retried (each retried attempt, not each affected run).
+	LedgerWriteRetries int64
+	Reports            []RunReport
+}
+
+// FarmBackend executes one (config, workload) cell remotely and
+// returns its metrics. *farm.Client implements it; the interface lives
+// here so core never imports the farm package.
+type FarmBackend interface {
+	Run(ctx context.Context, cfg *config.Config, workload []string) (Metrics, error)
 }
 
 // Status reports the live run-state counters and a copy of the per-run
@@ -128,12 +146,13 @@ func (r *Runner) Status() RunnerStatus {
 	reports := append([]RunReport(nil), r.reports...)
 	r.reportMu.Unlock()
 	return RunnerStatus{
-		Queued:     r.queued.Load(),
-		Running:    r.running.Load(),
-		Completed:  r.completed.Load(),
-		Failed:     r.failed.Load(),
-		LedgerHits: r.ledgerHits.Load(),
-		Reports:    reports,
+		Queued:             r.queued.Load(),
+		Running:            r.running.Load(),
+		Completed:          r.completed.Load(),
+		Failed:             r.failed.Load(),
+		LedgerHits:         r.ledgerHits.Load(),
+		LedgerWriteRetries: r.ledgerRetries.Load(),
+		Reports:            reports,
 	}
 }
 
@@ -162,6 +181,7 @@ func (r *Runner) child(warmup, measure int64) *Runner {
 	c.Ledger = r.Ledger
 	c.Experiment = r.Experiment
 	c.GitRevision = r.GitRevision
+	c.Farm = r.Farm
 	c.sem = r.pool()
 	return c
 }
@@ -311,7 +331,7 @@ func (r *Runner) ledgered(run *config.Config, workload []string, fn func(context
 		rec, recErr := NewRunRecord(run, workload, &m, EngineReport{}, nil,
 			r.Experiment, r.GitRevision, started, time.Since(started).Seconds())
 		if recErr == nil {
-			_, recErr = r.Ledger.Put(rec)
+			recErr = r.putWithRetry(ctx, rec)
 		}
 		if recErr != nil {
 			r.progressf("ledger write failed for %s %s: %v\n", run.Name, strings.Join(workload, ","), recErr)
@@ -320,21 +340,64 @@ func (r *Runner) ledgered(run *config.Config, workload []string, fn func(context
 	}
 }
 
+// ledgerPutAttempts bounds putWithRetry: one initial write plus up to
+// two retries with a short linear backoff. Ledger writes are local
+// filesystem renames, so transient failures (ENOSPC races, NFS blips)
+// either clear within milliseconds or are permanent.
+const ledgerPutAttempts = 3
+
+// putWithRetry writes rec to the ledger, retrying transient failures.
+// Each retried attempt is counted in Status().LedgerWriteRetries (the
+// ledger.write_retries metric); the last error is returned when all
+// attempts fail.
+func (r *Runner) putWithRetry(ctx context.Context, rec *ledger.Record) error {
+	var err error
+	for attempt := 1; attempt <= ledgerPutAttempts; attempt++ {
+		if attempt > 1 {
+			r.ledgerRetries.Add(1)
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(time.Duration(attempt-1) * 25 * time.Millisecond):
+			}
+		}
+		if _, err = r.Ledger.Put(rec); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // startMix enqueues (cfg, mix) without waiting. The config is cloned
 // before returning, so callers may mutate cfg afterwards.
 func (r *Runner) startMix(cfg *config.Config, mix string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, r.ledgered(run, []string{"mix:" + mix}, func(ctx context.Context) (Metrics, error) {
+	fn := func(ctx context.Context) (Metrics, error) {
 		return RunMixContext(ctx, run, mix)
-	}))
+	}
+	return r.start(cfg.Name+"\x00"+mix, cfg.Name, mix, r.ledgered(run, []string{"mix:" + mix}, r.farmed(run, []string{"mix:" + mix}, fn)))
 }
 
 // startSingle enqueues a stand-alone single-core benchmark run.
 func (r *Runner) startSingle(cfg *config.Config, benchmark string) *inflight {
 	run := r.apply(cfg)
-	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, r.ledgered(run, []string{"single:" + benchmark}, func(ctx context.Context) (Metrics, error) {
+	fn := func(ctx context.Context) (Metrics, error) {
 		return RunSingleContext(ctx, run, benchmark)
-	}))
+	}
+	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, r.ledgered(run, []string{"single:" + benchmark}, r.farmed(run, []string{"single:" + benchmark}, fn)))
+}
+
+// farmed routes the run to the Farm backend when one is attached; the
+// local fallback fn is used otherwise. Farm dispatch sits inside the
+// ledgered wrapper, so a warm local ledger short-circuits the network
+// round trip entirely and farm results are recorded locally too.
+func (r *Runner) farmed(run *config.Config, workload []string, fn func(context.Context) (Metrics, error)) func(context.Context) (Metrics, error) {
+	if r.Farm == nil {
+		return fn
+	}
+	return func(ctx context.Context) (Metrics, error) {
+		return r.Farm.Run(ctx, run, workload)
+	}
 }
 
 // Prefetch enqueues each (cfg, mix) run without waiting for results, so

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -113,6 +115,46 @@ func TestLedgerCacheHit(t *testing.T) {
 	}
 	if len(ms) != len(mixes) {
 		t.Fatalf("store holds %d manifests, want %d", len(ms), len(mixes))
+	}
+}
+
+// TestLedgerPutRetry pins the transient-write contract: a Put that
+// keeps failing is retried with backoff, counted in LedgerWriteRetries,
+// and never fails the run — the metrics still come back and the sweep
+// continues.
+func TestLedgerPutRetry(t *testing.T) {
+	dir := t.TempDir()
+	led, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(1_000, 4_000)
+	r.Ledger = led
+	var progress strings.Builder
+	r.Progress = &progress
+
+	// Break the store out from under the runner: runs/ becomes a file,
+	// so every Put attempt fails at MkdirTemp.
+	runs := filepath.Join(dir, "runs")
+	if err := os.RemoveAll(runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(runs, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := r.MixMetrics(config.Baseline2D(), "H1")
+	if err != nil {
+		t.Fatalf("run failed on ledger trouble: %v", err)
+	}
+	if m.Cycles == 0 {
+		t.Fatal("run returned empty metrics")
+	}
+	if got := r.Status().LedgerWriteRetries; got != 2 {
+		t.Fatalf("LedgerWriteRetries = %d, want 2 (3 attempts)", got)
+	}
+	if !strings.Contains(progress.String(), "ledger write failed") {
+		t.Fatalf("progress should report the exhausted write, got:\n%s", progress.String())
 	}
 }
 

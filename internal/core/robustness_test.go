@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -155,6 +156,66 @@ func TestCheckpointResumeParity(t *testing.T) {
 	}
 	if d := resumed.Digest(); d != wantDigest {
 		t.Fatalf("resumed digest %#x, uninterrupted %#x", d, wantDigest)
+	}
+}
+
+// TestCheckpointSinkFromParity pins the fileless wire path a sim farm
+// uses: checkpoints delivered through Sink, serialized, and resumed
+// through From must reproduce an uninterrupted run bit-for-bit — no
+// file ever touches disk.
+func TestCheckpointSinkFromParity(t *testing.T) {
+	benchmarks := []string{"mcf", "libquantum"}
+	cfg := faultyConfig() // faults on: the injected stream must survive too
+
+	uninterrupted, err := NewSystem(cfg, benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uninterrupted.Run()
+	wantDigest := uninterrupted.Digest()
+
+	interrupted, err := NewSystem(cfg, benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted.Engine.Schedule(27_001, cancel)
+	var last *Checkpoint
+	_, runErr := interrupted.RunCheckpointed(ctx, CheckpointPlan{Every: 7_000, Sink: func(c *Checkpoint) { last = c }})
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want Canceled", runErr)
+	}
+	if last == nil {
+		t.Fatal("sink received no checkpoint")
+	}
+	if last.Cycle != int64(interrupted.Engine.Now()) {
+		t.Fatalf("final sink checkpoint at cycle %d, run stopped at %d", last.Cycle, interrupted.Engine.Now())
+	}
+
+	// Round-trip through JSON: the form a coordinator stores and a
+	// successor worker receives in its lease.
+	raw, err := json.Marshal(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var from Checkpoint
+	if err := json.Unmarshal(raw, &from); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewSystemFromCheckpoint(&from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunCheckpointed(context.Background(), CheckpointPlan{Every: 7_000, From: &from})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("From-resumed run diverged from uninterrupted:\n%+v\nvs\n%+v", got, want)
+	}
+	if d := resumed.Digest(); d != wantDigest {
+		t.Fatalf("From-resumed digest %#x, uninterrupted %#x", d, wantDigest)
 	}
 }
 

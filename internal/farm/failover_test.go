@@ -1,0 +1,289 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/core"
+	"stackedsim/internal/ledger"
+)
+
+// failoverCell is a cell long enough to cross several checkpoint
+// boundaries mid-measure.
+func failoverCell(t *testing.T) Cell {
+	t.Helper()
+	cfg := config.Baseline2D()
+	cfg.WarmupCycles = 20_000
+	cfg.MeasureCycles = 60_000
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Cell{Config: raw, Workload: []string{"mix:H1"}}
+}
+
+// TestShardFailoverParity is the acceptance pin for failover: a worker
+// killed mid-run whose job is resumed by a successor from the last
+// uploaded checkpoint produces metrics and an architectural digest
+// bit-identical to an uninterrupted run.
+func TestShardFailoverParity(t *testing.T) {
+	cell := failoverCell(t)
+	const every = int64(30_000)
+
+	whole := &LeasedJob{ID: "whole", Config: cell.Config, Workload: cell.Workload, Attempt: 1}
+	wantM, wantSys, err := RunJob(context.Background(), whole, every, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := wantSys.Digest()
+
+	// Worker A dies immediately after uploading its first checkpoint —
+	// the harshest failover point, with the most work left to replay.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var uploaded json.RawMessage
+	jobA := &LeasedJob{ID: "a", Config: cell.Config, Workload: cell.Workload, Attempt: 1}
+	_, _, errA := RunJob(ctx, jobA, every, func(cp *core.Checkpoint) {
+		if uploaded == nil {
+			raw, merr := json.Marshal(cp)
+			if merr != nil {
+				t.Error(merr)
+			}
+			uploaded = raw
+			cancel()
+		}
+	})
+	if errA == nil {
+		t.Fatal("interrupted run reported no error")
+	}
+	if uploaded == nil {
+		t.Fatal("no checkpoint reached the sink before the kill")
+	}
+
+	// Worker B resumes from A's wire-format checkpoint.
+	jobB := &LeasedJob{ID: "b", Config: cell.Config, Workload: cell.Workload, Attempt: 2, Checkpoint: uploaded}
+	gotM, gotSys, err := RunJob(context.Background(), jobB, every, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotM, wantM) {
+		t.Fatalf("failover run diverged from uninterrupted:\n%+v\nvs\n%+v", gotM, wantM)
+	}
+	if d := gotSys.Digest(); d != wantDigest {
+		t.Fatalf("failover digest %#x, uninterrupted %#x", d, wantDigest)
+	}
+}
+
+// TestWorkerFailoverEndToEnd drives the whole protocol with a real
+// coordinator and a real Worker: worker A leases the job, uploads a
+// checkpoint, and vanishes without a word; the lease expires; worker B
+// picks the job up as attempt 2 and lands a result identical to an
+// uninterrupted run — exactly one completion, none lost, none
+// duplicated.
+func TestWorkerFailoverEndToEnd(t *testing.T) {
+	cell := failoverCell(t)
+	const every = int64(20_000)
+
+	ref := &LeasedJob{ID: "ref", Config: cell.Config, Workload: cell.Workload, Attempt: 1}
+	_, refSys, err := RunJob(context.Background(), ref, every, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := refSys.Digest()
+
+	led, err := ledger.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real clock: the lease must expire while the test waits it out.
+	coord, err := NewCoordinator(Params{
+		Ledger:      led,
+		SimVersion:  core.SimVersion,
+		Lease:       300 * time.Millisecond,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	sub, err := client.Submit(ctx, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A: lease, simulate to the first checkpoint, upload it,
+	// then go silent forever.
+	jobA, err := client.Lease(ctx, "wA")
+	if err != nil || jobA == nil {
+		t.Fatalf("lease A = %v, %v", jobA, err)
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	var uploaded json.RawMessage
+	_, _, errA := RunJob(actx, jobA, every, func(cp *core.Checkpoint) {
+		if uploaded == nil {
+			raw, merr := json.Marshal(cp)
+			if merr != nil {
+				t.Error(merr)
+			}
+			uploaded = raw
+			acancel()
+		}
+	})
+	if errA == nil || uploaded == nil {
+		t.Fatalf("worker A did not die mid-run (err=%v)", errA)
+	}
+	if err := client.Heartbeat(ctx, "wA", jobA.ID, uploaded, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // lease TTL + slack
+
+	// Worker B: the real lease/heartbeat/complete loop.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	w := &Worker{Client: client, Name: "wB", Poll: 20 * time.Millisecond, CheckpointEvery: every}
+	done := make(chan struct{})
+	go func() {
+		w.Run(wctx)
+		close(done)
+	}()
+
+	deadline := time.After(60 * time.Second)
+	var js *JobStatus
+	for {
+		js, err = client.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State == StateDone || js.State == StateQuarantined {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job stuck in state %s", js.State)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	wcancel()
+	<-done
+
+	if js.State != StateDone {
+		t.Fatalf("job ended %s (errors %v), want done", js.State, js.Errors)
+	}
+	if js.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one expiry, one failover)", js.Attempts)
+	}
+	if js.Digest != wantDigest {
+		t.Fatalf("failover digest %#x, uninterrupted %#x", js.Digest, wantDigest)
+	}
+	s, err := client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed != 1 || s.JobsDone != 1 || s.Expirations != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+	// Exactly one record landed in the ledger.
+	ms, err := led.Manifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("ledger holds %d records, want 1", len(ms))
+	}
+}
+
+// TestPoisonJobQuarantine pins the quarantine path end to end: a cell
+// that passes submit-time validation but cannot build a machine burns
+// its retry budget through a real worker and quarantines with its
+// error chain, without wedging the worker.
+func TestPoisonJobQuarantine(t *testing.T) {
+	cfg := config.Baseline2D()
+	cfg.WarmupCycles = 1_000
+	cfg.MeasureCycles = 1_000
+	cfg.Cores = 2 // mix:H1 needs 4 sources: decodes fine, fails at NewSystem
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Config: raw, Workload: []string{"mix:H1"}}
+
+	coord, err := NewCoordinator(Params{
+		SimVersion:  core.SimVersion,
+		Lease:       5 * time.Second,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	sub, err := client.Submit(ctx, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	w := &Worker{Client: client, Name: "w1", Poll: 10 * time.Millisecond, CheckpointEvery: 1_000}
+	done := make(chan struct{})
+	go func() {
+		w.Run(wctx)
+		close(done)
+	}()
+
+	deadline := time.After(30 * time.Second)
+	var js *JobStatus
+	for {
+		js, err = client.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State == StateQuarantined || js.State == StateDone {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job stuck in state %s", js.State)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	wcancel()
+	<-done
+
+	if js.State != StateQuarantined {
+		t.Fatalf("poison job ended %s, want quarantined", js.State)
+	}
+	if len(js.Errors) != 2 {
+		t.Fatalf("error chain has %d entries, want 2: %v", len(js.Errors), js.Errors)
+	}
+	for _, e := range js.Errors {
+		if !strings.Contains(e, "cores") {
+			t.Fatalf("error chain lost the cause: %v", js.Errors)
+		}
+	}
+	s, err := client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JobsQuarantined != 1 || s.Failures != 2 || s.Completed != 0 {
+		t.Fatalf("status = %+v", s)
+	}
+}

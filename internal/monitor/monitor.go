@@ -47,9 +47,21 @@ type Progress struct {
 	// LedgerHits counts runs served from the result ledger instead of
 	// being simulated.
 	LedgerHits int64 `json:"ledger_hits,omitempty"`
+	// LedgerWriteRetries counts retried transient ledger write failures
+	// (the ledger.write_retries metric).
+	LedgerWriteRetries int64 `json:"ledger_write_retries,omitempty"`
 	// Runs, when supplied, lists every executed run so /snapshot shows
 	// which ones failed (Err != "") and which ran slow.
 	Runs []RunReport `json:"runs,omitempty"`
+}
+
+// HealthCheck is one named readiness probe in the /healthz report.
+// Status is "ok", "degraded" (serving but impaired: unreachable
+// ledger, a farm with pending work and no live workers) or "down".
+type HealthCheck struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // RunReport mirrors core.RunReport on the wire: one executed run's
@@ -134,8 +146,18 @@ type Server struct {
 	ProgressFn func() Progress
 	// Ledger, when set, backs the /runs, /runs/{id} and /compare
 	// endpoints. The ledger is safe for concurrent use and its handlers
-	// only touch the on-disk store, never the simulation.
+	// only touch the on-disk store, never the simulation. It also adds
+	// a built-in "ledger" reachability check to /healthz.
 	Ledger *ledger.Ledger
+	// HealthFn, when set, contributes extra readiness checks to
+	// /healthz (e.g. the farm coordinator's worker-pool liveness).
+	// Polled from handler goroutines; must be safe for concurrent use.
+	HealthFn func() []HealthCheck
+	// FarmHandler, when set, is mounted under /farm/ — the sim-farm
+	// coordinator's job API rides on the same mux and lifecycle as the
+	// observability plane. The handler is generic so monitor stays free
+	// of the farm (and machine) packages.
+	FarmHandler http.Handler
 
 	mu   sync.Mutex
 	snap snapshot
@@ -226,6 +248,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.FarmHandler != nil {
+		mux.Handle("/farm/", s.FarmHandler)
+	}
 	return mux
 }
 
@@ -270,9 +295,60 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
 }
 
+// healthReport is the /healthz wire format: an overall status (the
+// worst of the checks), the snapshot count, and each named check.
+type healthReport struct {
+	Status   string        `json:"status"`
+	Collects int64         `json:"collects"`
+	Checks   []HealthCheck `json:"checks,omitempty"`
+}
+
+// healthRank orders statuses for the overall roll-up; unknown strings
+// rank as down so a misbehaving check can never mask a problem.
+func healthRank(status string) int {
+	switch status {
+	case "ok":
+		return 0
+	case "degraded":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// handleHealthz serves the structured readiness report. HTTP status is
+// exit-code-friendly for scripts: 200 only when every check is ok, 503
+// otherwise — `curl -fsS /healthz` fails exactly when the process is
+// degraded. A bare server with no checks is always ok (liveness).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok collects=%d\n", s.collects.Load())
+	report := healthReport{Status: "ok", Collects: s.collects.Load()}
+	if s.Ledger != nil {
+		check := HealthCheck{Name: "ledger", Status: "ok"}
+		if ms, err := s.Ledger.Manifests(); err != nil {
+			check.Status = "degraded"
+			check.Detail = err.Error()
+		} else {
+			check.Detail = fmt.Sprintf("runs=%d", len(ms))
+		}
+		report.Checks = append(report.Checks, check)
+	}
+	if s.HealthFn != nil {
+		report.Checks = append(report.Checks, s.HealthFn()...)
+	}
+	for _, c := range report.Checks {
+		if healthRank(c.Status) > healthRank(report.Status) {
+			report.Status = c.Status
+		}
+	}
+	code := http.StatusOK
+	if report.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(report) //nolint:errcheck // best-effort over HTTP
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -160,15 +160,59 @@ func TestSnapshotPowerThermal(t *testing.T) {
 
 func TestHealthzCountsCollects(t *testing.T) {
 	s, ts := testServer(t)
+	var rep struct {
+		Status   string `json:"status"`
+		Collects int64  `json:"collects"`
+	}
 	body, _ := get(t, ts.URL+"/healthz")
-	if !strings.HasPrefix(body, "ok collects=1") {
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Collects != 1 {
 		t.Fatalf("healthz = %q", body)
 	}
 	s.Collect(6000)
 	body, _ = get(t, ts.URL+"/healthz")
-	if !strings.HasPrefix(body, "ok collects=2") {
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Collects != 2 {
 		t.Fatalf("healthz after second collect = %q", body)
 	}
+}
+
+// TestHealthzReadiness pins the structured readiness contract: a
+// degraded check flips the overall status and the HTTP code to 503
+// (so `curl -fsS /healthz` is a working script gate), and HealthFn
+// checks merge with the built-ins.
+func TestHealthzReadiness(t *testing.T) {
+	s, ts := testServer(t)
+	s.HealthFn = func() []HealthCheck {
+		return []HealthCheck{{Name: "workers", Status: "degraded", Detail: "pending work, no live workers"}}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d, want 503", resp.StatusCode)
+	}
+	var rep struct {
+		Status string        `json:"status"`
+		Checks []HealthCheck `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded" {
+		t.Fatalf("overall status = %q, want degraded", rep.Status)
+	}
+	if len(rep.Checks) != 1 || rep.Checks[0].Name != "workers" {
+		t.Fatalf("checks = %+v", rep.Checks)
+	}
+	s.HealthFn = func() []HealthCheck { return []HealthCheck{{Name: "workers", Status: "ok"}} }
+	get(t, ts.URL+"/healthz") // asserts 200 when every check is ok
 }
 
 // TestSnapshotReflectsLatestCollect pins the swap semantics: handlers

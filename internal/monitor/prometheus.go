@@ -83,6 +83,7 @@ func writePrometheus(w io.Writer, snap *snapshot, prog *Progress) {
 		add("stacksim_runs_completed", "counter", prog.Completed)
 		add("stacksim_runs_failed", "counter", prog.Failed)
 		add("stacksim_runs_ledger_hits", "counter", prog.LedgerHits)
+		add("stacksim_runs_ledger_write_retries", "counter", prog.LedgerWriteRetries)
 	}
 
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].name < lines[j].name })

@@ -47,6 +47,17 @@
 #      simulation), pins the recorded run as the "blessed" baseline
 #      with statsdiff -pin, and gates latest-vs-blessed through
 #      statsdiff -ledger-dir (exit 0 required).
+#   8. The sim-farm sweep (cmd/simfarm coordinator + 2 workers): the
+#      full fig4 sweep through `experiments -farm` three ways —
+#      uninterrupted, warm (re-submitted cells must dispatch 0 new
+#      jobs: the dedupe gate), and with one worker kill -9'd mid-sweep
+#      (the sweep must still complete every cell, none lost or
+#      duplicated, with the recovery wall <=1.5x uninterrupted: the
+#      recovery gate). All farm stdout must be byte-identical to a
+#      local run's — determinism survives distribution and failover.
+#      Emits BENCH_farm.json. Correctness failures (lost cells, dedupe
+#      re-dispatch, stdout divergence) are fatal; the recovery-wall
+#      gate warns, like the other timing gates on small hosts.
 #
 # Measurements 3-7 pass -power=false on their baselines so each one
 # isolates its own subsystem's cost.
@@ -434,5 +445,145 @@ if [ "$ledger_gate" = fail ]; then
 fi
 if [ "$dedupe_status" = fail ] || [ "$tag_gate" = fail ]; then
     echo "bench: ERROR: ledger dedupe=$dedupe_status baseline_tag_gate=$tag_gate"
+    exit 1
+fi
+
+# Sim-farm recovery and dedupe. Short leases and a tight checkpoint
+# interval shrink the failover window to something a bench run can
+# afford; production defaults are far larger. Every spawned process is
+# killed by its own PID — never by name — so a concurrent bench or an
+# operator's real farm is untouched.
+echo "== building cmd/simfarm"
+fbin=$(mktemp -d)/simfarm
+go build -o "$fbin" ./cmd/simfarm
+
+farm_tmp=$(mktemp -d)
+farm_sweep="-exp fig4 -warmup 20000 -measure 60000 -j 8"
+farm_pids=""
+farm_cleanup() {
+    for pid in $farm_pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap farm_cleanup EXIT
+
+# start_farm <dir> starts a coordinator (fresh store under <dir>) and
+# two workers, exporting farm_addr and per-process PIDs.
+start_farm() {
+    dir=$1
+    "$fbin" coordinator -addr 127.0.0.1:0 -ledger-dir "$dir/store" \
+        -lease 2s -backoff-base 100ms -backoff-max 2s > "$dir/coord.log" 2>&1 &
+    coord_pid=$!
+    farm_pids="$farm_pids $coord_pid"
+    farm_addr=""
+    for _ in $(seq 1 50); do
+        farm_addr=$(awk '/serving on/ { print $NF }' "$dir/coord.log" 2>/dev/null || true)
+        [ -n "$farm_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$farm_addr" ]; then
+        echo "bench: ERROR: coordinator did not come up"
+        cat "$dir/coord.log"
+        exit 1
+    fi
+    "$fbin" worker -coordinator "$farm_addr" -name w1 -poll 50ms \
+        -checkpoint-every 20000 > "$dir/w1.log" 2>&1 &
+    w1_pid=$!
+    "$fbin" worker -coordinator "$farm_addr" -name w2 -poll 50ms \
+        -checkpoint-every 20000 > "$dir/w2.log" 2>&1 &
+    w2_pid=$!
+    farm_pids="$farm_pids $w1_pid $w2_pid"
+    sleep 0.5
+}
+
+# Local reference: same sweep, no farm — the stdout parity baseline.
+echo "== farm reference (local): $farm_sweep"
+# shellcheck disable=SC2086 # $farm_sweep is a word list by design
+"$bin" $farm_sweep -perf-json "$farm_tmp/perf_local.json" > "$farm_tmp/local.txt" 2> /dev/null
+
+echo "== farm uninterrupted + warm: $farm_sweep -farm <coordinator>"
+mkdir -p "$farm_tmp/a"
+start_farm "$farm_tmp/a"
+# shellcheck disable=SC2086
+"$bin" $farm_sweep -farm "$farm_addr" -perf-json "$farm_tmp/perf_farm.json" > "$farm_tmp/farm.txt" 2> /dev/null
+farm_wall=$(json_field "$farm_tmp/perf_farm.json" wall_seconds)
+cells=$(json_field "$farm_tmp/perf_farm.json" runs)
+"$fbin" status -coordinator "$farm_addr" > "$farm_tmp/status_cold.json"
+cold_dispatched=$(json_field "$farm_tmp/status_cold.json" dispatched_total)
+# Warm re-run of the identical cells: every submit must collapse onto
+# a done job — zero new dispatches.
+# shellcheck disable=SC2086
+"$bin" $farm_sweep -farm "$farm_addr" -perf-json "$farm_tmp/perf_warm.json" > "$farm_tmp/warm.txt" 2> /dev/null
+"$fbin" status -coordinator "$farm_addr" > "$farm_tmp/status_warm.json"
+warm_dispatched=$(json_field "$farm_tmp/status_warm.json" dispatched_total)
+warm_delta=$((warm_dispatched - cold_dispatched))
+warm_gate=$([ "$warm_delta" -eq 0 ] && echo pass || echo fail)
+for pid in $farm_pids; do kill "$pid" 2>/dev/null || true; done
+farm_pids=""
+
+echo "== farm recovery: $farm_sweep -farm <coordinator>, one worker kill -9'd mid-sweep"
+mkdir -p "$farm_tmp/b"
+start_farm "$farm_tmp/b"
+kill_delay=$(awk -v w="$farm_wall" 'BEGIN { printf "%.1f", (w > 1) ? w / 2 : 0.5 }')
+# shellcheck disable=SC2086
+"$bin" $farm_sweep -farm "$farm_addr" -perf-json "$farm_tmp/perf_kill.json" > "$farm_tmp/kill.txt" 2> /dev/null &
+run_pid=$!
+sleep "$kill_delay"
+kill -9 "$w1_pid" 2>/dev/null || true
+if wait "$run_pid"; then kill_rc=0; else kill_rc=$?; fi
+kill_wall=$(json_field "$farm_tmp/perf_kill.json" wall_seconds)
+"$fbin" status -coordinator "$farm_addr" > "$farm_tmp/status_kill.json"
+kill_done=$(json_field "$farm_tmp/status_kill.json" jobs_done)
+kill_quarantined=$(json_field "$farm_tmp/status_kill.json" jobs_quarantined)
+kill_expirations=$(json_field "$farm_tmp/status_kill.json" expirations_total)
+kill_completed=$(json_field "$farm_tmp/status_kill.json" completed_total)
+for pid in $farm_pids; do kill "$pid" 2>/dev/null || true; done
+farm_pids=""
+trap - EXIT
+
+# Correctness: the killed-worker sweep completed every cell exactly
+# once, and all three farm runs' stdout matches the local run's.
+cells_gate=pass
+if [ "$kill_rc" -ne 0 ] || [ "$kill_done" -ne "$cells" ] ||
+    [ "$kill_quarantined" -ne 0 ] || [ "$kill_completed" -ne "$cells" ]; then
+    cells_gate=fail
+fi
+parity_gate=pass
+for f in farm warm kill; do
+    if ! cmp -s "$farm_tmp/local.txt" "$farm_tmp/$f.txt"; then
+        parity_gate=fail
+        echo "bench: farm $f stdout diverges from local:"
+        diff "$farm_tmp/local.txt" "$farm_tmp/$f.txt" | head -20 || true
+    fi
+done
+recovery_ratio=$(awk -v k="$kill_wall" -v u="$farm_wall" \
+    'BEGIN { printf "%.3f", (u > 0) ? k / u : 0 }')
+recovery_gate=$(awk -v r="$recovery_ratio" 'BEGIN { print (r <= 1.5) ? "pass" : "fail" }')
+
+cat > "$outdir/BENCH_farm.json" <<EOF
+{
+  "sweep": "fig4 @ warmup=20000 measure=60000, coordinator + 2 workers (lease 2s, checkpoint-every 20000)",
+  "cells": $cells,
+  "uninterrupted_wall_seconds": $farm_wall,
+  "kill_one_worker_wall_seconds": $kill_wall,
+  "recovery_overhead_ratio": $recovery_ratio,
+  "recovery_gate": 1.5,
+  "recovery_gate_status": "$recovery_gate",
+  "kill_run_expirations": $kill_expirations,
+  "kill_run_jobs_done": $kill_done,
+  "kill_run_quarantined": $kill_quarantined,
+  "cells_exactly_once": "$cells_gate",
+  "warm_dispatched_delta": $warm_delta,
+  "warm_dedupe_gate_status": "$warm_gate",
+  "stdout_parity": "$parity_gate"
+}
+EOF
+echo "== $outdir/BENCH_farm.json"
+cat "$outdir/BENCH_farm.json"
+if [ "$recovery_gate" = fail ]; then
+    echo "bench: WARNING: kill-one-worker wall ${kill_wall}s exceeds 1.5x uninterrupted ${farm_wall}s"
+fi
+if [ "$cells_gate" = fail ] || [ "$warm_gate" = fail ] || [ "$parity_gate" = fail ]; then
+    echo "bench: ERROR: farm cells_exactly_once=$cells_gate warm_dedupe=$warm_gate stdout_parity=$parity_gate"
     exit 1
 fi

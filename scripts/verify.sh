@@ -25,6 +25,10 @@
 # tier-1. internal/ledger joins the race pass because the Runner's
 # workers record runs into one shared store (the O_APPEND index and
 # tag writes are mutex-guarded) while monitor handlers read it.
+# internal/farm joins because the coordinator serves concurrent HTTP
+# handlers over one job table and the worker runs a heartbeat
+# goroutine beside the simulating one; the failover and
+# kill-worker-mid-run tests only bite under -race.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,8 +41,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/..."
-go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/...
+echo "== go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/farm/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/..."
+go test -race ./internal/telemetry/... ./internal/sim/... ./internal/monitor/... ./internal/ledger/... ./internal/farm/... ./internal/attrib/... ./internal/fault/... ./internal/stackcache/... ./internal/power/... ./internal/thermal/... ./internal/mem/... ./internal/mshr/...
 
 echo "== go test -race -short ./internal/core/..."
 go test -race -short ./internal/core/...
