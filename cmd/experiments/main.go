@@ -72,7 +72,7 @@ func main() { os.Exit(run()) }
 // (profile flush, graceful monitor shutdown) run even on failure.
 func run() int {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,stackcap,tsv,thermal,ablations")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2a,table2b,fig4,fig6a,fig6b,fig7a,fig7b,fig9a,fig9b,vbfprobes,energy,banking,stability,stackcap,tsv,thermal,ablations,manycore")
 		warmup  = flag.Int64("warmup", 200_000, "warmup cycles per run")
 		measure = flag.Int64("measure", 600_000, "measured cycles per run")
 		verbose = flag.Bool("v", false, "print per-run progress")
@@ -88,6 +88,21 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	// Reject flag misuse that would otherwise be a silent no-op or
+	// nonsense, before any work starts (exit 2, like cmd/stacksim).
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -j must be >= 0 (0 = GOMAXPROCS)")
+		return 2
+	}
+	if *runTmo < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -run-timeout must be >= 0 (0 = no limit)")
+		return 2
+	}
+	if *farmFlg != "" && (*cpuProfile != "" || *memProfile != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -cpuprofile/-memprofile profile the local process, but -farm runs the simulations remotely; profile the workers instead")
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -192,7 +207,14 @@ func run() int {
 		wanted[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := wanted["all"]
-	want := func(name string) bool { return all || wanted[name] }
+	want := func(name string) bool {
+		if name == "manycore" {
+			// Opt-in only: the 256-core runs dwarf the paper's 4-core
+			// sweeps and would dominate every -exp all invocation.
+			return wanted[name]
+		}
+		return all || wanted[name]
+	}
 
 	type figFn func() (*core.Figure, error)
 	figures := []struct {
@@ -216,6 +238,7 @@ func run() int {
 		{"stackcap", "%.3f", r.StackCapacityFigure},
 		{"thermal", "%.2f", r.ThermalFigure},
 		{"ablations", "%.3f", r.Ablations},
+		{"manycore", "%.4f", r.ManycoreFigure},
 	}
 
 	// Every wanted figure is generated concurrently — each generator

@@ -104,6 +104,10 @@ func main() {
 		stackTagLat = flag.Int("stack-tag-lat", 2, "SRAM tag-probe latency in CPU cycles")
 		stackFill   = flag.Int("stack-fill-bytes", 0, "fill/allocation granularity in bytes (0 = one page)")
 		stackHot    = flag.Float64("stack-hot-frac", 0.5, "memcache: fraction of the stack that is direct-addressed hot memory")
+		cohMode  = flag.String("coherence", "", "coherence mode: shared (seed default) or mesi (private per-core L2s under a directory protocol)")
+		topology = flag.String("topology", "", "interconnect: bus (seed default) or mesh (2D mesh NoC; required by -coherence mesi)")
+		cores    = flag.Int("cores", 0, "override the core count (0 = preset; counts > 4 need -coherence mesi)")
+
 		traces      = flag.String("traces", "", "comma-separated trace files (from tracegen), one per core")
 		list        = flag.Bool("list", false, "list benchmarks and mixes, then exit")
 		jobs        = flag.Int("j", 0, "concurrent simulations for a multi-mix sweep (0 = GOMAXPROCS)")
@@ -129,7 +133,8 @@ func main() {
 	)
 	flag.Parse()
 	validateFlags(*telemetryDir, *sampleEvery, *monitorAddr, *mixName,
-		*checkpoint, *resume, *traces, *ckptEvery, *stackMode, *ledgerDir)
+		*checkpoint, *resume, *traces, *ckptEvery, *stackMode, *ledgerDir,
+		*cohMode, *cores, *faultScenario, *dynamic)
 
 	if *list {
 		fmt.Println("benchmarks (Table 2a):")
@@ -185,6 +190,9 @@ func main() {
 		if mode == config.StackMemCache {
 			cfg.StackHotFrac = *stackHot
 		}
+	}
+	if *cohMode != "" || *topology != "" || *cores > 0 {
+		cfg = applyManycore(cfg, *cohMode, *topology, *cores)
 	}
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
@@ -296,6 +304,16 @@ func main() {
 			workloadKey = []string{"mix:" + mix.Name}
 		case *benches != "":
 			labels = strings.Split(*benches, ",")
+			// A coherent many-core run with a single benchmark means
+			// "run it on every core" (the -exp manycore convention);
+			// seed-mode runs keep the one-core-per-entry behavior.
+			if cfg.Coherent() && len(labels) == 1 && cfg.Cores > 1 {
+				uniform := make([]string, cfg.Cores)
+				for i := range uniform {
+					uniform[i] = labels[0]
+				}
+				labels = uniform
+			}
 			for _, b := range labels {
 				workloadKey = append(workloadKey, "bench:"+b)
 			}
@@ -489,15 +507,94 @@ func main() {
 	}
 }
 
+// applyManycore applies the coherent-mode flags on top of the chosen
+// preset: parse the mode/topology spellings, override the core count,
+// fill the mesh and private-L2 knobs from the ManyCore preset, and
+// validate here so a bad combination (non-square mesh, MCs not
+// dividing the cores) exits 2 with the config error instead of
+// surfacing later as a run failure.
+func applyManycore(cfg *config.Config, coherence, topology string, cores int) *config.Config {
+	if coherence != "" {
+		m, err := config.ParseCoherenceMode(coherence)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Coherence = m
+	}
+	if topology != "" {
+		tp, err := config.ParseTopology(topology)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Topology = tp
+	} else if cfg.Coherent() {
+		cfg.Topology = config.TopoMesh // mesi implies the mesh
+	}
+	if cores > 0 {
+		cfg.Cores = cores
+	}
+	if cfg.Coherent() {
+		donor := config.ManyCore(16, 4)
+		cfg.MeshLinkBytes = donor.MeshLinkBytes
+		cfg.MeshLinkLatency = donor.MeshLinkLatency
+		cfg.MeshRouterLatency = donor.MeshRouterLatency
+		cfg.MeshBufPkts = donor.MeshBufPkts
+		cfg.PrivL2KB = donor.PrivL2KB
+		cfg.PrivL2Ways = donor.PrivL2Ways
+		cfg.PrivL2Latency = donor.PrivL2Latency
+		cfg.PrivL2MSHRs = donor.PrivL2MSHRs
+		cfg.DirLatency = donor.DirLatency
+		cfg.Name = fmt.Sprintf("%s-%dc-mesh", cfg.Name, cfg.Cores)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "stacksim: %v\n", err)
+		os.Exit(2)
+	}
+	return cfg
+}
+
 // validateFlags rejects flag combinations that would otherwise be
 // silent no-ops: the telemetry sub-flags do nothing without
 // -telemetry-dir, the monitor serves a single run's registry, so it
 // conflicts with sweep mode, and checkpoint/resume describe one
 // generator-driven run.
 func validateFlags(telemetryDir string, sampleEvery int64, monitorAddr, mixName,
-	checkpoint, resume, traces string, ckptEvery int64, stackMode, ledgerDir string) {
+	checkpoint, resume, traces string, ckptEvery int64, stackMode, ledgerDir string,
+	coherence string, cores int, faultScenario string, dynamic bool) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["topology"] && coherence != "mesi" {
+		fmt.Fprintln(os.Stderr, "stacksim: -topology does nothing without -coherence mesi (the shared L2 has no modeled interconnect)")
+		os.Exit(2)
+	}
+	if cores > 4 && coherence != "mesi" {
+		fmt.Fprintf(os.Stderr, "stacksim: -cores %d needs the directory/mesh hierarchy; add -coherence mesi\n", cores)
+		os.Exit(2)
+	}
+	if explicit["cores"] && cores <= 0 {
+		fmt.Fprintln(os.Stderr, "stacksim: -cores must be a positive core count")
+		os.Exit(2)
+	}
+	if coherence == "mesi" {
+		if stackMode != "memory" {
+			fmt.Fprintln(os.Stderr, "stacksim: -coherence mesi requires -stack-mode memory (directory banks ride the stacked controllers)")
+			os.Exit(2)
+		}
+		if faultScenario != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -coherence mesi does not support -fault-scenario")
+			os.Exit(2)
+		}
+		if dynamic {
+			fmt.Fprintln(os.Stderr, "stacksim: -dynamic resizes the shared L2's MSHR banks; it does nothing under -coherence mesi")
+			os.Exit(2)
+		}
+		if resume != "" || checkpoint != "" {
+			fmt.Fprintln(os.Stderr, "stacksim: -checkpoint/-resume do not support -coherence mesi runs yet")
+			os.Exit(2)
+		}
+	}
 	if stackMode == "memory" {
 		for _, name := range []string{"stack-cap-mb", "stack-ways", "stack-tags-sram",
 			"stack-tag-lat", "stack-fill-bytes", "stack-hot-frac"} {
@@ -800,6 +897,13 @@ func report(cfg *config.Config, m core.Metrics) {
 		if st.DirectReads+st.DirectWrites > 0 {
 			fmt.Printf("  hot-region direct reads/writes: %d / %d\n", st.DirectReads, st.DirectWrites)
 		}
+	}
+	if cs := m.Coherence; cs.Accesses > 0 {
+		fmt.Printf("coherence: upgrades=%d invalidations=%d c2c=%d wb-races=%d\n",
+			cs.Upgrades, cs.Invalidations, cs.C2CTransfers, cs.WBRaces)
+		n := m.NoC
+		fmt.Printf("noc: injected=%d delivered=%d avg-latency=%.1f avg-hops=%.1f\n",
+			n.Injected, n.Delivered, n.AvgLatency(), n.AvgHops())
 	}
 	if pf := m.PrefetchL1; pf.Issued > 0 {
 		fmt.Printf("L1 prefetch: issued=%d useful=%d accuracy=%.2f drops=%d\n",

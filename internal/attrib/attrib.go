@@ -35,8 +35,22 @@ const (
 	// StageMSHR runs from L2 miss detection to the stack-cache probe
 	// (or, with the stack in plain memory mode, straight to MRQ
 	// acceptance): probe serialization, full-MSHR set-aside wait, and
-	// full-MRQ retries.
+	// full-MRQ retries. Under directory coherence it ends at NoC
+	// injection instead — the private L2's miss handling and any wait
+	// for mesh injection credits.
 	StageMSHR Stage = iota
+	// StageNoc is the mesh traversal time: the request's flight from
+	// the private L2 to its home directory bank plus the data
+	// response's flight back to the requester. Zero outside directory
+	// coherence (the timestamps are never stamped and collapse away).
+	StageNoc
+	// StageCoherence runs from the request reaching its home directory
+	// bank to the protocol handing it onward: directory occupancy and
+	// lookup, waiting serialized behind a busy line, invalidation
+	// round trips, owner forwarding, and retries submitting to the
+	// co-located MC. On a cache-to-cache transfer it covers the whole
+	// directory+owner path. Zero outside directory coherence.
+	StageCoherence
 	// StageStackHit runs from the stack-cache layer first seeing the
 	// request to its acceptance into a stacked MC's MRQ: the SRAM tag
 	// lookup latency plus any wait for a free MRQ slot. Zero in memory
@@ -69,7 +83,7 @@ const (
 	NumStages
 )
 
-var stageNames = [NumStages]string{"mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip"}
+var stageNames = [NumStages]string{"mshr", "noc", "coherence", "stackhit", "queue", "dram", "retry", "bus", "offchip"}
 
 func (s Stage) String() string {
 	if s >= 0 && s < NumStages {
@@ -96,6 +110,8 @@ type Tag struct {
 
 	MissAt      sim.Cycle // L2 detected the demand miss
 	AllocAt     sim.Cycle // MSHR entry allocation completed
+	InjectAt    sim.Cycle // request injected into the NoC (directory coherence only)
+	NocAt       sim.Cycle // request reached its home directory bank (directory coherence only)
 	ProbeAt     sim.Cycle // stack-cache layer first saw the request (cache modes only)
 	QueueAt     sim.Cycle // accepted into the MC's MRQ
 	SchedAt     sim.Cycle // MC scheduler picked the request
@@ -103,6 +119,7 @@ type Tag struct {
 	DataAt      sim.Cycle // corrected data delivered (== FirstDataAt fault-free)
 	BurstAt     sim.Cycle // burst started on the channel data bus
 	StackAt     sim.Cycle // stack-cache miss resolved; off-chip forwarding began
+	RespAt      sim.Cycle // data response injected back into the NoC (directory coherence only)
 	DoneAt      sim.Cycle // completion reached the L2 fill
 
 	// DRAM micro-phases: cycles within StageDRAM spent in each timing
@@ -134,6 +151,34 @@ func (t *Tag) MarkMerged() {
 		return
 	}
 	t.Merged = true
+}
+
+// Inject stamps the request's injection into the NoC toward its home
+// directory. Retried injections re-stamp it, so the final value is the
+// accepted attempt.
+func (t *Tag) Inject(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.InjectAt = now
+}
+
+// NocArrive stamps the request's delivery at its home directory bank.
+func (t *Tag) NocArrive(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.NocAt = now
+}
+
+// RespInject stamps the data response's injection into the NoC back
+// toward the requesting private L2 (by the directory after a memory
+// access, or by the owning cache on a cache-to-cache forward).
+func (t *Tag) RespInject(now sim.Cycle) {
+	if t == nil {
+		return
+	}
+	t.RespAt = now
 }
 
 // Probe stamps the stack-cache layer first seeing the request. Retried
@@ -212,18 +257,27 @@ func (t *Tag) DRAMPhases(writeRec, precharge, activate, cas sim.Cycle) {
 // Total reports the end-to-end miss latency.
 func (t *Tag) Total() sim.Cycle { return t.DoneAt - t.MissAt }
 
-// Stages decomposes the lifetime into the seven consecutive intervals.
+// Stages decomposes the lifetime into the nine consecutive intervals.
 // Unreached checkpoints collapse right-to-left to the next stamped one
 // (e.g. a miss whose line was filled by another request while it waited
 // for MSHR space never visited the MC; a stack-cache miss under
 // tags-in-SRAM skips the stacked MC entirely, so queue/dram/bus
-// collapse into the off-chip stage boundary), attributing the whole
-// wait to the stage the request was actually stuck in; the stage sum
-// therefore telescopes to exactly Total() for every finished tag.
+// collapse into the off-chip stage boundary; outside directory
+// coherence the NoC timestamps are never stamped, so noc and coherence
+// are exactly zero and the remaining seven stages keep their
+// shared-L2 values), attributing the whole wait to the stage the
+// request was actually stuck in. The noc stage is the one non-contiguous
+// interval: it sums the request's outbound flight (inject→arrive) and
+// the response's return flight (resp→done). The stage sum still
+// telescopes to exactly Total() for every finished tag.
 func (t *Tag) Stages() [NumStages]sim.Cycle {
+	resp := t.RespAt
+	if resp == 0 {
+		resp = t.DoneAt
+	}
 	stack := t.StackAt
 	if stack == 0 {
-		stack = t.DoneAt
+		stack = resp
 	}
 	d := t.DataAt
 	if d == 0 {
@@ -245,7 +299,25 @@ func (t *Tag) Stages() [NumStages]sim.Cycle {
 	if p == 0 {
 		p = q
 	}
-	return [NumStages]sim.Cycle{p - t.MissAt, q - p, s - q, fd - s, d - fd, stack - d, t.DoneAt - stack}
+	noc1 := t.NocAt
+	if noc1 == 0 {
+		noc1 = p
+	}
+	inj := t.InjectAt
+	if inj == 0 {
+		inj = noc1
+	}
+	return [NumStages]sim.Cycle{
+		inj - t.MissAt,
+		(noc1 - inj) + (t.DoneAt - resp),
+		p - noc1,
+		q - p,
+		s - q,
+		fd - s,
+		d - fd,
+		stack - d,
+		resp - stack,
+	}
 }
 
 // latencyBuckets sizes the end-to-end and per-stage histograms: miss
@@ -433,15 +505,17 @@ type StageSummary struct {
 
 // GroupRow is one per-core/per-MC/per-rank row of stage cycle sums.
 type GroupRow struct {
-	Label    string `json:"label"`
-	Requests uint64 `json:"requests"`
-	MSHR     uint64 `json:"mshr_cycles"`
-	StackHit uint64 `json:"stackhit_cycles"`
-	Queue    uint64 `json:"queue_cycles"`
-	DRAM     uint64 `json:"dram_cycles"`
-	Retry    uint64 `json:"retry_cycles"`
-	Bus      uint64 `json:"bus_cycles"`
-	Offchip  uint64 `json:"offchip_cycles"`
+	Label     string `json:"label"`
+	Requests  uint64 `json:"requests"`
+	MSHR      uint64 `json:"mshr_cycles"`
+	Noc       uint64 `json:"noc_cycles,omitempty"`
+	Coherence uint64 `json:"coherence_cycles,omitempty"`
+	StackHit  uint64 `json:"stackhit_cycles"`
+	Queue     uint64 `json:"queue_cycles"`
+	DRAM      uint64 `json:"dram_cycles"`
+	Retry     uint64 `json:"retry_cycles"`
+	Bus       uint64 `json:"bus_cycles"`
+	Offchip   uint64 `json:"offchip_cycles"`
 }
 
 // DRAMPhases is the timing-phase split of the DRAM stage.
@@ -474,15 +548,17 @@ func groupRows(label string, reqs []*telemetry.Counter, cycles [][NumStages]*tel
 	var rows []GroupRow
 	for i, rc := range reqs {
 		rows = append(rows, GroupRow{
-			Label:    fmt.Sprintf("%s%d", label, i),
-			Requests: rc.Value(),
-			MSHR:     cycles[i][StageMSHR].Value(),
-			StackHit: cycles[i][StageStackHit].Value(),
-			Queue:    cycles[i][StageQueue].Value(),
-			DRAM:     cycles[i][StageDRAM].Value(),
-			Retry:    cycles[i][StageRetry].Value(),
-			Bus:      cycles[i][StageBus].Value(),
-			Offchip:  cycles[i][StageOffchip].Value(),
+			Label:     fmt.Sprintf("%s%d", label, i),
+			Requests:  rc.Value(),
+			MSHR:      cycles[i][StageMSHR].Value(),
+			Noc:       cycles[i][StageNoc].Value(),
+			Coherence: cycles[i][StageCoherence].Value(),
+			StackHit:  cycles[i][StageStackHit].Value(),
+			Queue:     cycles[i][StageQueue].Value(),
+			DRAM:      cycles[i][StageDRAM].Value(),
+			Retry:     cycles[i][StageRetry].Value(),
+			Bus:       cycles[i][StageBus].Value(),
+			Offchip:   cycles[i][StageOffchip].Value(),
 		})
 	}
 	return rows
@@ -559,11 +635,11 @@ func (b *Breakdown) Table() string {
 		if len(rows) == 0 {
 			return
 		}
-		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s %12s %12s %12s\n",
-			name, "", "misses", "mshr", "stackhit", "queue", "dram", "retry", "bus", "offchip")
+		fmt.Fprintf(&w, "  per %s: %-10s %9s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+			name, "", "misses", "mshr", "noc", "coherence", "stackhit", "queue", "dram", "retry", "bus", "offchip")
 		for _, r := range rows {
-			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d %12d %12d %12d\n",
-				r.Label, r.Requests, r.MSHR, r.StackHit, r.Queue, r.DRAM, r.Retry, r.Bus, r.Offchip)
+			fmt.Fprintf(&w, "    %-12s %11d %12d %12d %12d %12d %12d %12d %12d %12d %12d\n",
+				r.Label, r.Requests, r.MSHR, r.Noc, r.Coherence, r.StackHit, r.Queue, r.DRAM, r.Retry, r.Bus, r.Offchip)
 		}
 	}
 	section("core", b.PerCore)

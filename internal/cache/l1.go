@@ -79,6 +79,12 @@ type L1 struct {
 	// freeMiss recycles l1Miss nodes (reusing their waiter slices).
 	onDone   func(*mem.Request, sim.Cycle)
 	freeMiss []*l1Miss
+
+	// storeHint, when set, is notified of stores that complete inside
+	// the L1 (hits and merges into in-flight misses) so a coherent
+	// private L2 below can chase write permission for the line. Nil in
+	// the shared-L2 seed configuration — behavior there is unchanged.
+	storeHint func(line mem.Addr, now sim.Cycle)
 }
 
 // L1Params configures a controller.
@@ -91,6 +97,10 @@ type L1Params struct {
 	Below     Port
 	IDs       *mem.IDSource
 	Prefetch  bool
+	// StoreHint, when non-nil, receives every store that hits or merges
+	// (see L1.storeHint). Coherent configurations pass the private L2's
+	// upgrade path here.
+	StoreHint func(line mem.Addr, now sim.Cycle)
 }
 
 // NewL1 builds an L1 controller.
@@ -112,6 +122,7 @@ func NewL1(p L1Params) *L1 {
 		ids:       p.IDs,
 		nextline:  p.Prefetch,
 		pfPending: make(map[mem.Addr]struct{}),
+		storeHint: p.StoreHint,
 	}
 	if p.Prefetch {
 		l.stride = prefetch.NewStride(64)
@@ -175,6 +186,9 @@ func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done fu
 		}
 		if store {
 			l.arr.MarkDirty(ln)
+			if l.storeHint != nil {
+				l.storeHint(ln, now)
+			}
 		}
 		l.train(now, pc, addr)
 		return Hit
@@ -185,6 +199,9 @@ func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done fu
 		m.waiters = append(m.waiters, done)
 		if store {
 			m.dirty = true
+			if l.storeHint != nil {
+				l.storeHint(ln, now)
+			}
 		}
 		l.train(now, pc, addr)
 		return Miss
@@ -199,6 +216,7 @@ func (l *L1) Access(now sim.Cycle, pc uint64, addr mem.Addr, store bool, done fu
 	l.misses[ln] = m
 	r := l.ids.NewRequest()
 	r.Kind = mem.Read // write-allocate: fetch the line even for stores
+	r.Excl = store    // ownership intent for a coherent private L2
 	r.Addr = addr
 	r.Line = ln
 	r.Core = l.core
@@ -277,6 +295,7 @@ func (l *L1) drop(r *mem.Request, now sim.Cycle) {
 	// A demand access merged in: the data is needed after all.
 	demand := l.ids.NewRequest()
 	demand.Kind = mem.Read
+	demand.Excl = m.dirty
 	demand.Addr = r.Addr
 	demand.Line = r.Line
 	demand.Core = l.core
@@ -348,6 +367,16 @@ func (l *L1) Tick(now sim.Cycle) {
 	if len(l.retry) == 0 {
 		l.handle.SleepUntil(sim.FarFuture)
 	}
+}
+
+// InvalidateLine removes a line on behalf of the coherence protocol (a
+// directory invalidation or an ownership forward reaching the private
+// L2 below). It reports whether the line was present and dirty; an
+// in-flight miss for the same line is untouched — its fill belongs to
+// the next coherence epoch and lands normally.
+func (l *L1) InvalidateLine(ln mem.Addr) (wasPresent, wasDirty bool) {
+	delete(l.pfPending, ln)
+	return l.arr.Invalidate(ln)
 }
 
 // PrefetchStats reports the L1 prefetcher's issue/usefulness counters.

@@ -1,0 +1,571 @@
+package coherence
+
+import (
+	"fmt"
+
+	"stackedsim/internal/cache"
+	"stackedsim/internal/mem"
+	"stackedsim/internal/sim"
+)
+
+// dstate is a directory entry's protocol state. Entries exist only for
+// lines away from Invalid: absence from the map is I.
+type dstate uint8
+
+const (
+	// dirS: one or more clean sharers (exact bitvector).
+	dirS dstate = iota + 1
+	// dirM: one owner holding the line E or M (MESI's E is tracked as
+	// ownership — the directory cannot tell whether the owner wrote).
+	dirM
+	// trBusyMemS: a GetS is waiting on a memory read.
+	trBusyMemS
+	// trBusyMemM: a GetM is waiting on a memory read (after any
+	// invalidations completed).
+	trBusyMemM
+	// trBusyInv: a GetM is collecting InvAcks from the sharers.
+	trBusyInv
+	// trBusyFwdS: a FwdGetS is waiting for the owner's demotion data —
+	// or for the owner's racing PutM, which completes it equally.
+	trBusyFwdS
+)
+
+func (s dstate) busy() bool { return s >= trBusyMemS }
+
+func (s dstate) String() string {
+	switch s {
+	case dirS:
+		return "S"
+	case dirM:
+		return "M"
+	case trBusyMemS:
+		return "BusyMemS"
+	case trBusyMemM:
+		return "BusyMemM"
+	case trBusyInv:
+		return "BusyInv"
+	case trBusyFwdS:
+		return "BusyFwdS"
+	}
+	return "I"
+}
+
+// dirEntry tracks one line away from Invalid.
+type dirEntry struct {
+	state    dstate
+	owner    int      // dirM / trBusyFwdS
+	sharers  []uint64 // exact sharer bitvector, sized to the core count
+	acksLeft int      // trBusyInv
+	// req is the request being served while busy; reqWasSharer caches
+	// its membership before the invalidations cleared the set.
+	req          *message
+	reqWasSharer bool
+	// deferred queues requests that arrived while the line was busy,
+	// replayed in order once it settles.
+	deferred []*message
+}
+
+func (e *dirEntry) setSharer(c int)   { e.sharers[c/64] |= 1 << (c % 64) }
+func (e *dirEntry) clearSharer(c int) { e.sharers[c/64] &^= 1 << (c % 64) }
+func (e *dirEntry) isSharer(c int) bool {
+	return e.sharers[c/64]&(1<<(c%64)) != 0
+}
+func (e *dirEntry) sharerCount() int {
+	n := 0
+	for _, w := range e.sharers {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+func (e *dirEntry) clearSharers() {
+	for i := range e.sharers {
+		e.sharers[i] = 0
+	}
+}
+
+// DirStats counts directory-bank events.
+type DirStats struct {
+	GetS      uint64
+	GetM      uint64
+	PutM      uint64
+	PutE      uint64
+	StalePutM uint64 // PutM from a core that no longer owns the line
+	Deferred  uint64 // requests queued behind a busy line
+	InvSent   uint64
+	InvAcks   uint64
+	FwdGetS   uint64
+	FwdGetM   uint64
+	WBRaces   uint64 // FwdGetS completed by the owner's racing PutM
+	MemReads  uint64
+	MemWrites uint64
+	AckM      uint64 // upgrade grants
+	DataE     uint64 // exclusive grants from memory
+	DataS     uint64 // shared grants from memory
+}
+
+// Directory is one directory bank, co-located with its vertical slice's
+// memory controller: it serializes coherence for the lines that slice
+// owns, one message per cycle with a pipelined lookup latency, and
+// issues the memory reads and writes the protocol needs.
+type Directory struct {
+	f    *Fabric
+	id   int // MC / bank index
+	node int // mesh node
+	mc   cache.Port
+	lat  sim.Cycle
+
+	lines map[mem.Addr]*dirEntry
+
+	inbox  *sim.Queue[*message]
+	out    []outMsg        // mesh-rejected responses, retried in order
+	outq   []*mem.Request  // MC-rejected memory requests, retried in order
+	events sim.EventQueue
+	handle *sim.TickHandle
+
+	freeEntry []*dirEntry
+
+	processCB func(arg any, at sim.Cycle)
+	onMemRead func(r *mem.Request, now sim.Cycle)
+
+	stats DirStats
+}
+
+func newDirectory(f *Fabric, id, node int, mc cache.Port) *Directory {
+	d := &Directory{
+		f:     f,
+		id:    id,
+		node:  node,
+		mc:    mc,
+		lat:   sim.Cycle(f.cfg.DirLatency),
+		lines: make(map[mem.Addr]*dirEntry),
+		inbox: sim.NewQueue[*message](0),
+	}
+	d.processCB = func(arg any, at sim.Cycle) { d.process(arg.(*message), at) }
+	d.onMemRead = d.memReadDone
+	return d
+}
+
+// Stats returns the counters.
+func (d *Directory) Stats() *DirStats { return &d.stats }
+
+// Node reports the mesh node this bank lives at.
+func (d *Directory) Node() int { return d.node }
+
+func (d *Directory) setHandle(h *sim.TickHandle) {
+	d.handle = h
+	h.SleepUntil(sim.FarFuture)
+}
+
+// EntryState reports a line's directory state ("I" when absent) — test
+// hook for the protocol suite.
+func (d *Directory) EntryState(line mem.Addr) string {
+	if e, ok := d.lines[line]; ok {
+		return e.state.String()
+	}
+	return "I"
+}
+
+func (d *Directory) newEntry() *dirEntry {
+	if n := len(d.freeEntry); n > 0 {
+		e := d.freeEntry[n-1]
+		d.freeEntry[n-1] = nil
+		d.freeEntry = d.freeEntry[:n-1]
+		e.state = 0
+		e.owner = -1
+		e.acksLeft = 0
+		e.req = nil
+		e.reqWasSharer = false
+		e.clearSharers()
+		e.deferred = e.deferred[:0]
+		return e
+	}
+	return &dirEntry{owner: -1, sharers: make([]uint64, (d.f.cfg.Cores+63)/64)}
+}
+
+func (d *Directory) releaseEntry(e *dirEntry) { d.freeEntry = append(d.freeEntry, e) }
+
+// recv queues a delivered protocol message and stamps the requester's
+// lifecycle with its arrival at the directory.
+func (d *Directory) recv(m *message, now sim.Cycle) {
+	// Arrival counters live here rather than in the handlers so a
+	// deferred-and-replayed request is counted once.
+	switch m.kind {
+	case mGetS:
+		d.stats.GetS++
+		m.tag.NocArrive(now)
+	case mGetM:
+		d.stats.GetM++
+		m.tag.NocArrive(now)
+	case mPutM:
+		if m.clean {
+			d.stats.PutE++
+		} else {
+			d.stats.PutM++
+		}
+	}
+	d.inbox.Push(m)
+	d.handle.Wake()
+}
+
+// Tick pops at most one inbox message (the bank's serialization point)
+// into the pipelined lookup, fires due lookups, and retries rejected
+// injections and memory submissions.
+func (d *Directory) Tick(now sim.Cycle) {
+	d.events.FireDue(now)
+	if m, ok := d.inbox.Pop(); ok {
+		d.events.AtCall(now+d.lat, d.processCB, m)
+	}
+	if len(d.out) > 0 {
+		kept := d.out[:0]
+		for i, o := range d.out {
+			if len(kept) > 0 || !d.f.send(d.node, o.dst, o.m, now) {
+				kept = append(kept, d.out[i])
+				continue
+			}
+			d.stamp(o.m, now)
+		}
+		d.out = kept
+	}
+	if len(d.outq) > 0 {
+		kept := d.outq[:0]
+		for i, r := range d.outq {
+			if len(kept) > 0 || !d.mc.Submit(r, now) {
+				kept = append(kept, d.outq[i])
+			}
+		}
+		d.outq = kept
+	}
+	d.sched(now)
+}
+
+func (d *Directory) sched(now sim.Cycle) {
+	if d.inbox.Len() > 0 || len(d.out) > 0 || len(d.outq) > 0 {
+		d.handle.SleepUntil(now + 1)
+		return
+	}
+	wake := sim.FarFuture
+	if c, ok := d.events.NextAt(); ok {
+		wake = c
+	}
+	d.handle.SleepUntil(wake)
+}
+
+// inject sends a message, queueing for in-order retry on backpressure.
+func (d *Directory) inject(m *message, dst int, now sim.Cycle) {
+	if len(d.out) == 0 && d.f.send(d.node, dst, m, now) {
+		d.stamp(m, now)
+		return
+	}
+	d.out = append(d.out, outMsg{m: m, dst: dst})
+	d.handle.Wake()
+}
+
+// stamp records the injection of a data/grant response on the
+// requester's lifecycle.
+func (d *Directory) stamp(m *message, now sim.Cycle) {
+	switch m.kind {
+	case mData, mDataE, mAckM:
+		m.tag.RespInject(now)
+	}
+}
+
+// memRead issues the protocol's memory read for a busy entry. The
+// requester's attribution tag rides along, so the controller and DRAM
+// stamp the same lifecycle they would in the shared-L2 hierarchy.
+func (d *Directory) memRead(m *message, now sim.Cycle) {
+	d.stats.MemReads++
+	r := d.f.ids.NewRequest()
+	r.Kind = mem.Read
+	r.Addr = m.line
+	r.Line = m.line
+	r.Core = m.from
+	r.Born = now
+	r.Attrib = m.tag
+	r.OnDone = d.onMemRead
+	if !d.mc.Submit(r, now) {
+		d.outq = append(d.outq, r)
+		d.handle.Wake()
+	}
+}
+
+// memWrite issues a protocol writeback (PutM data, FwdGetS demotion
+// data, or an orphan write) to memory.
+func (d *Directory) memWrite(line mem.Addr, now sim.Cycle) {
+	d.stats.MemWrites++
+	r := d.f.ids.NewRequest()
+	r.Kind = mem.Writeback
+	r.Addr = line
+	r.Line = line
+	r.Core = -1
+	r.Born = now
+	if !d.mc.Submit(r, now) {
+		d.outq = append(d.outq, r)
+		d.handle.Wake()
+	}
+}
+
+// memReadDone completes a trBusyMem* entry: grant the data and settle.
+func (d *Directory) memReadDone(r *mem.Request, now sim.Cycle) {
+	line := r.Line
+	e, ok := d.lines[line]
+	if !ok || (e.state != trBusyMemS && e.state != trBusyMemM) {
+		panic(fmt.Sprintf("coherence: dir%d memory read for line %#x in state %s", d.id, uint64(line), d.EntryState(line)))
+	}
+	req := e.req
+	e.req = nil
+	switch e.state {
+	case trBusyMemS:
+		if e.sharerCount() == 0 {
+			// No sharers: MESI's E grant. Tracked as ownership.
+			d.stats.DataE++
+			e.state = dirM
+			e.owner = req.from
+			grant := d.f.newMsg(mDataE, line, d.node)
+			grant.tag = req.tag
+			d.inject(grant, req.from, now)
+		} else {
+			d.stats.DataS++
+			e.state = dirS
+			e.setSharer(req.from)
+			grant := d.f.newMsg(mData, line, d.node)
+			grant.tag = req.tag
+			d.inject(grant, req.from, now)
+		}
+	case trBusyMemM:
+		d.stats.DataE++
+		e.state = dirM
+		e.owner = req.from
+		e.clearSharers()
+		grant := d.f.newMsg(mDataE, line, d.node)
+		grant.excl = true
+		grant.tag = req.tag
+		d.inject(grant, req.from, now)
+	}
+	d.f.putMsg(req)
+	d.settle(line, e, now)
+}
+
+// settle replays the first deferred request now that the line is
+// stable, and reclaims entries that returned to Invalid.
+func (d *Directory) settle(line mem.Addr, e *dirEntry, now sim.Cycle) {
+	if len(e.deferred) > 0 {
+		m := e.deferred[0]
+		copy(e.deferred, e.deferred[1:])
+		e.deferred[len(e.deferred)-1] = nil
+		e.deferred = e.deferred[:len(e.deferred)-1]
+		d.process(m, now)
+		return
+	}
+	if e.state == 0 {
+		delete(d.lines, line)
+		d.releaseEntry(e)
+	}
+}
+
+// process handles one protocol message at this bank.
+func (d *Directory) process(m *message, now sim.Cycle) {
+	e := d.lines[m.line]
+	switch m.kind {
+	case mGetS:
+		d.getS(m, e, now)
+	case mGetM:
+		d.getM(m, e, now)
+	case mPutM:
+		d.putM(m, e, now)
+	case mInvAck:
+		d.invAck(m, e, now)
+	case mWBData:
+		d.wbData(m, e, now)
+	default:
+		panic(fmt.Sprintf("coherence: dir%d received %s", d.id, m.kind))
+	}
+}
+
+// defer_ parks a request behind a busy line.
+func (d *Directory) defer_(m *message, e *dirEntry) {
+	d.stats.Deferred++
+	e.deferred = append(e.deferred, m)
+}
+
+func (d *Directory) getS(m *message, e *dirEntry, now sim.Cycle) {
+	switch {
+	case e == nil:
+		e = d.newEntry()
+		d.lines[m.line] = e
+		e.state = trBusyMemS
+		e.req = m
+		d.memRead(m, now)
+	case e.state.busy():
+		d.defer_(m, e)
+	case e.state == dirS:
+		// Memory is clean in S; the data still comes from DRAM.
+		e.state = trBusyMemS
+		e.req = m
+		d.memRead(m, now)
+	case e.state == dirM:
+		d.stats.FwdGetS++
+		e.state = trBusyFwdS
+		e.req = m
+		fwd := d.f.newMsg(mFwdGetS, m.line, d.node)
+		fwd.requester = m.from
+		fwd.tag = m.tag
+		d.inject(fwd, e.owner, now)
+	}
+}
+
+func (d *Directory) getM(m *message, e *dirEntry, now sim.Cycle) {
+	switch {
+	case e == nil:
+		e = d.newEntry()
+		d.lines[m.line] = e
+		e.state = trBusyMemM
+		e.req = m
+		d.memRead(m, now)
+	case e.state.busy():
+		d.defer_(m, e)
+	case e.state == dirS:
+		wasSharer := e.isSharer(m.from)
+		others := e.sharerCount()
+		if wasSharer {
+			others--
+		}
+		if others == 0 {
+			// Sole sharer upgrading: grant immediately.
+			d.grantAckM(m, e, now)
+			d.settle(m.line, e, now)
+			return
+		}
+		e.state = trBusyInv
+		e.req = m
+		e.reqWasSharer = wasSharer
+		e.acksLeft = others
+		for c := 0; c < d.f.cfg.Cores; c++ {
+			if c != m.from && e.isSharer(c) {
+				d.stats.InvSent++
+				inv := d.f.newMsg(mInv, m.line, d.node)
+				d.inject(inv, c, now)
+			}
+		}
+	case e.state == dirM:
+		// Forward-and-forget: ownership moves to the requester now;
+		// the old owner serves the data (from cache or its writeback
+		// buffer) without further directory involvement.
+		d.stats.FwdGetM++
+		fwd := d.f.newMsg(mFwdGetM, m.line, d.node)
+		fwd.requester = m.from
+		fwd.tag = m.tag
+		d.inject(fwd, e.owner, now)
+		e.owner = m.from
+		d.f.putMsg(m)
+	}
+}
+
+// grantAckM upgrades a sharer to owner without a data transfer.
+func (d *Directory) grantAckM(m *message, e *dirEntry, now sim.Cycle) {
+	d.stats.AckM++
+	e.state = dirM
+	e.owner = m.from
+	e.clearSharers()
+	ack := d.f.newMsg(mAckM, m.line, d.node)
+	ack.tag = m.tag
+	d.inject(ack, m.from, now)
+	d.f.putMsg(m)
+}
+
+func (d *Directory) putM(m *message, e *dirEntry, now sim.Cycle) {
+	switch {
+	case e != nil && e.state == dirM && e.owner == m.from:
+		// The owner's eviction: write the data, retire the line.
+		if !m.clean {
+			d.memWrite(m.line, now)
+		}
+		e.state = 0
+		e.owner = -1
+		d.ackWB(m, now)
+		d.settle(m.line, e, now)
+	case e != nil && e.state == trBusyFwdS && e.owner == m.from:
+		// Writeback race: our FwdGetS crossed the owner's eviction.
+		// The owner serves the requester from its writeback buffer,
+		// and this PutM doubles as the demotion data — the evicted
+		// owner keeps no copy, so only the requester shares.
+		d.stats.WBRaces++
+		if !m.clean {
+			d.memWrite(m.line, now)
+		}
+		req := e.req
+		e.req = nil
+		e.state = dirS
+		e.owner = -1
+		e.clearSharers()
+		e.setSharer(req.from)
+		d.f.putMsg(req)
+		d.ackWB(m, now)
+		d.settle(m.line, e, now)
+	case e != nil && e.state.busy():
+		d.defer_(m, e)
+	default:
+		// Stale PutM: the sender lost ownership before the eviction
+		// arrived (a forward beat it) or never had it (an orphan L1
+		// writeback). With no newer owner the data is still the
+		// freshest copy, so it reaches memory; under dirM the new
+		// owner's copy supersedes it and the data is dropped.
+		d.stats.StalePutM++
+		if !m.clean && (e == nil || e.state == dirS) {
+			d.memWrite(m.line, now)
+		}
+		d.ackWB(m, now)
+	}
+}
+
+// ackWB acknowledges a PutM/PutE so the sender retires its
+// writeback-buffer entry, then releases the message.
+func (d *Directory) ackWB(m *message, now sim.Cycle) {
+	ack := d.f.newMsg(mWBAck, m.line, d.node)
+	d.inject(ack, m.from, now)
+	d.f.putMsg(m)
+}
+
+func (d *Directory) invAck(m *message, e *dirEntry, now sim.Cycle) {
+	d.stats.InvAcks++
+	if e == nil || e.state != trBusyInv {
+		panic(fmt.Sprintf("coherence: dir%d InvAck for line %#x in state %s", d.id, uint64(m.line), d.EntryState(m.line)))
+	}
+	d.f.putMsg(m)
+	e.acksLeft--
+	if e.acksLeft > 0 {
+		return
+	}
+	req := e.req
+	if e.reqWasSharer {
+		// The requester held the data in S all along: upgrade.
+		e.req = nil
+		d.grantAckM(req, e, now)
+		d.settle(m.line, e, now)
+		return
+	}
+	// The requester never had the data (its S copy was evicted, or it
+	// never shared): fetch it from memory.
+	e.state = trBusyMemM
+	d.memRead(req, now)
+}
+
+func (d *Directory) wbData(m *message, e *dirEntry, now sim.Cycle) {
+	if e == nil || e.state != trBusyFwdS {
+		panic(fmt.Sprintf("coherence: dir%d WBData for line %#x in state %s", d.id, uint64(m.line), d.EntryState(m.line)))
+	}
+	if m.dirty {
+		d.memWrite(m.line, now)
+	}
+	req := e.req
+	e.req = nil
+	e.state = dirS
+	e.clearSharers()
+	e.setSharer(m.from)      // the demoted owner keeps an S copy
+	e.setSharer(m.requester) // the requester got the data cache-to-cache
+	e.owner = -1
+	d.f.putMsg(req)
+	d.f.putMsg(m)
+	d.settle(m.line, e, now)
+}

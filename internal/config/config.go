@@ -77,6 +77,77 @@ func ParseStackMode(s string) (StackMode, error) {
 	return 0, fmt.Errorf("config: unknown stack mode %q (want memory, cache or memcache)", s)
 }
 
+// CoherenceMode selects how cores share the memory hierarchy. The zero
+// value is the seed behaviour: one shared, banked L2.
+type CoherenceMode int
+
+const (
+	// CoherenceShared is the paper's organization: all cores share one
+	// banked L2; no coherence protocol is needed below the L1s.
+	CoherenceShared CoherenceMode = iota
+	// CoherencePrivate gives each core a private L2 kept coherent by a
+	// directory-based MESI protocol, with directory banks co-located
+	// with the stacked memory controllers (one per vertical slice).
+	// Requires TopoMesh.
+	CoherencePrivate
+)
+
+func (m CoherenceMode) String() string {
+	switch m {
+	case CoherenceShared:
+		return "shared"
+	case CoherencePrivate:
+		return "mesi"
+	}
+	return fmt.Sprintf("coherence(%d)", int(m))
+}
+
+// ParseCoherenceMode maps the -coherence flag spelling to a mode.
+func ParseCoherenceMode(s string) (CoherenceMode, error) {
+	switch s {
+	case "shared":
+		return CoherenceShared, nil
+	case "mesi":
+		return CoherencePrivate, nil
+	}
+	return 0, fmt.Errorf("config: unknown coherence mode %q (want shared or mesi)", s)
+}
+
+// Topology selects the on-chip interconnect between the cores' caches
+// and the memory controllers. The zero value is the seed behaviour: an
+// implicit point-to-point connection with no modeled contention.
+type Topology int
+
+const (
+	// TopoBus is the implicit interconnect of the shared-L2
+	// organization (the L2 banks and MCs are directly wired).
+	TopoBus Topology = iota
+	// TopoMesh is a 2D mesh NoC (internal/noc) carrying
+	// core-to-directory-to-MC traffic; requires a square core count.
+	TopoMesh
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoBus:
+		return "bus"
+	case TopoMesh:
+		return "mesh"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
+
+// ParseTopology maps the -topology flag spelling to a topology.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "bus":
+		return TopoBus, nil
+	case "mesh":
+		return TopoMesh, nil
+	}
+	return 0, fmt.Errorf("config: unknown topology %q (want bus or mesh)", s)
+}
+
 // DRAMTiming carries the array timing parameters in nanoseconds. The
 // consuming DRAM model rounds them up to CPU cycles.
 type DRAMTiming struct {
@@ -219,6 +290,28 @@ type Config struct {
 	// read-only after construction and shared by Clone copies; nil
 	// keeps the memory system fault-free.
 	Faults *fault.Scenario
+
+	// Many-core scale-out (internal/coherence + internal/noc). The zero
+	// values are the seed behaviour — shared L2, implicit bus, no new
+	// subsystems constructed — and the omitempty tags keep the zero
+	// values out of the run-identity JSON, so every pre-existing
+	// configuration keeps its ledger RunID.
+	Coherence CoherenceMode `json:",omitempty"`
+	Topology  Topology      `json:",omitempty"`
+	// Mesh NoC shape (TopoMesh): link width in bytes per cycle, wire
+	// latency per hop, router pipeline depth, and per-port input buffer
+	// capacity in messages (the credit count).
+	MeshLinkBytes     int `json:",omitempty"`
+	MeshLinkLatency   int `json:",omitempty"`
+	MeshRouterLatency int `json:",omitempty"`
+	MeshBufPkts       int `json:",omitempty"`
+	// Private per-core L2 geometry (CoherencePrivate) and the directory
+	// bank lookup latency in cycles.
+	PrivL2KB      int `json:",omitempty"`
+	PrivL2Ways    int `json:",omitempty"`
+	PrivL2Latency int `json:",omitempty"`
+	PrivL2MSHRs   int `json:",omitempty"`
+	DirLatency    int `json:",omitempty"`
 }
 
 // Validate reports the first problem with the configuration.
@@ -258,8 +351,55 @@ func (c *Config) Validate() error {
 	if err := c.validateStack(); err != nil {
 		return err
 	}
+	if err := c.validateManycore(); err != nil {
+		return err
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// validateManycore checks the coherence and NoC knobs. In the seed
+// organization (shared L2, implicit bus) they are all ignored, so any
+// values are accepted — but more than 4 cores needs the scale-out
+// hierarchy, since the shared banked L2 does not model the crossbar
+// contention that dominates beyond that point.
+func (c *Config) validateManycore() error {
+	if c.Coherence == CoherenceShared && c.Topology == TopoBus {
+		if c.Cores > 4 {
+			return fmt.Errorf("config: %d cores need the directory/mesh hierarchy (Coherence=mesi, Topology=mesh); the shared L2 tops out at 4", c.Cores)
+		}
+		return nil
+	}
+	dim := c.MeshDim()
+	switch {
+	case c.Coherence != CoherencePrivate:
+		return fmt.Errorf("config: Coherence = %d, want shared or mesi", int(c.Coherence))
+	case c.Topology != TopoMesh:
+		return fmt.Errorf("config: Coherence=mesi requires Topology=mesh, have %s", c.Topology)
+	case dim*dim != c.Cores:
+		return fmt.Errorf("config: mesh topology needs a square core count, have %d (not a perfect square)", c.Cores)
+	case c.Cores%c.MCs != 0:
+		return fmt.Errorf("config: MCs %d must divide Cores %d (one directory bank per vertical slice)", c.MCs, c.Cores)
+	case c.StackMode != StackMemory:
+		return fmt.Errorf("config: coherence mode supports StackMode=memory only, have %s", c.StackMode)
+	case c.Faults != nil:
+		return fmt.Errorf("config: fault injection is not supported under directory coherence")
+	case c.DynamicMSHR:
+		return fmt.Errorf("config: DynamicMSHR resizes the shared L2's MSHRs; not applicable to private L2s")
+	case c.MeshLinkBytes <= 0:
+		return fmt.Errorf("config: MeshLinkBytes = %d", c.MeshLinkBytes)
+	case c.MeshLinkLatency <= 0 || c.MeshRouterLatency <= 0:
+		return fmt.Errorf("config: mesh latencies %d link / %d router, need >= 1", c.MeshLinkLatency, c.MeshRouterLatency)
+	case c.MeshBufPkts <= 0:
+		return fmt.Errorf("config: MeshBufPkts = %d", c.MeshBufPkts)
+	case c.PrivL2KB <= 0 || c.PrivL2Ways <= 0 || c.PrivL2MSHRs <= 0:
+		return fmt.Errorf("config: bad private L2 geometry %d KB / %d ways / %d mshrs", c.PrivL2KB, c.PrivL2Ways, c.PrivL2MSHRs)
+	case c.PrivL2Latency <= 0:
+		return fmt.Errorf("config: PrivL2Latency = %d", c.PrivL2Latency)
+	case c.DirLatency <= 0:
+		return fmt.Errorf("config: DirLatency = %d", c.DirLatency)
 	}
 	return nil
 }
@@ -313,6 +453,21 @@ func (c *Config) StackHotBytes() int64 {
 	}
 	hot := int64(float64(int64(c.StackCapMB)<<20) * c.StackHotFrac)
 	return hot &^ int64(c.PageBytes-1)
+}
+
+// Coherent reports whether this configuration uses the directory-based
+// private-L2 hierarchy instead of the seed's shared L2.
+func (c *Config) Coherent() bool { return c.Coherence == CoherencePrivate }
+
+// MeshDim reports the side length of the square mesh (isqrt of Cores).
+// Only meaningful when dim*dim == Cores, which Validate enforces for
+// TopoMesh configurations.
+func (c *Config) MeshDim() int {
+	d := 0
+	for (d+1)*(d+1) <= c.Cores {
+		d++
+	}
+	return d
 }
 
 // L2TotalMSHRs reports the total L2 MSHR entry count after the multiplier.
@@ -443,6 +598,37 @@ func DualMC() *Config { return Aggressive(2, 8, 4) }
 
 // QuadMC is the paper's "4 MCs, 16 ranks, 4 row buffers" configuration.
 func QuadMC() *Config { return Aggressive(4, 16, 4) }
+
+// ManyCore returns the scale-out organization: cores private L2s kept
+// coherent by directory banks co-located with mcs stacked memory
+// controllers, all connected by a square 2D mesh. The DRAM side follows
+// the Aggressive recipe (4 ranks per controller, 4 row-buffer entries
+// per bank), and the MRQ/MSHR aggregates scale with the core count so
+// per-slice resources match the 4-core QuadMC slice.
+func ManyCore(cores, mcs int) *Config {
+	c := Aggressive(mcs, 4*mcs, 4)
+	c.Name = fmt.Sprintf("3D-%dc-%dmc-mesh", cores, mcs)
+	c.Cores = cores
+	c.Coherence = CoherencePrivate
+	c.Topology = TopoMesh
+	// Keep the seed's per-slice provisioning: 8 MRQ entries and 4 L2
+	// banks per controller, as in QuadMC.
+	c.MRQTotal = 8 * mcs
+	c.L2Banks = mcs * 4
+	c.L2PageInterleave = true
+
+	c.MeshLinkBytes = 16
+	c.MeshLinkLatency = 1
+	c.MeshRouterLatency = 2
+	c.MeshBufPkts = 8
+
+	c.PrivL2KB = 512
+	c.PrivL2Ways = 8
+	c.PrivL2Latency = 9
+	c.PrivL2MSHRs = 16
+	c.DirLatency = 4
+	return c
+}
 
 // WithStackCache derives a copy operating the stacked DRAM in the
 // given mode with the given capacity and sensible defaults for every

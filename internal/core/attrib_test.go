@@ -16,7 +16,16 @@ func attribRun(t *testing.T, cfg *config.Config, check func(*attrib.Tag)) (Metri
 	t.Helper()
 	cfg.WarmupCycles = 5_000
 	cfg.MeasureCycles = 20_000
-	sys, err := NewSystem(cfg, []string{"S.all", "mcf", "S.copy", "milc"})
+	benches := []string{"S.all", "mcf", "S.copy", "milc"}
+	if cfg.Coherent() {
+		// Coherent machines run a shared-data benchmark on every core
+		// so the noc and coherence stages carry real traffic.
+		benches = make([]string, cfg.Cores)
+		for i := range benches {
+			benches[i] = "producer-consumer"
+		}
+	}
+	sys, err := NewSystem(cfg, benches)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +41,7 @@ func attribRun(t *testing.T, cfg *config.Config, check func(*attrib.Tag)) (Metri
 // banked MCs), the four stage durations sum exactly to the end-to-end
 // latency. No cycle may be double-counted or dropped.
 func TestAttributionConservation(t *testing.T) {
-	configs := []*config.Config{config.Baseline2D(), config.Fast3D(), config.QuadMC()}
+	configs := []*config.Config{config.Baseline2D(), config.Fast3D(), config.QuadMC(), config.ManyCore(16, 4)}
 	for _, cfg := range configs {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {

@@ -387,6 +387,30 @@ func (r *Runner) startSingle(cfg *config.Config, benchmark string) *inflight {
 	return r.start(cfg.Name+"\x00single\x00"+benchmark, cfg.Name, benchmark, r.ledgered(run, []string{"single:" + benchmark}, r.farmed(run, []string{"single:" + benchmark}, fn)))
 }
 
+// startUniform enqueues a run with benchmark on every core (the
+// many-core methodology). The workload key is the uniform "bench:<b>"
+// list, which the farm backend expands back to cfg.Cores copies.
+func (r *Runner) startUniform(cfg *config.Config, benchmark string) *inflight {
+	run := r.apply(cfg)
+	fn := func(ctx context.Context) (Metrics, error) {
+		return RunUniformContext(ctx, run, benchmark)
+	}
+	labels := make([]string, run.Cores)
+	for i := range labels {
+		labels[i] = "bench:" + benchmark
+	}
+	return r.start(cfg.Name+"\x00uniform\x00"+benchmark, cfg.Name, benchmark,
+		r.ledgered(run, labels, r.farmed(run, labels, fn)))
+}
+
+// UniformMetrics runs (or recalls) benchmark on every core under cfg,
+// through the same memo, ledger and worker pool as MixMetrics.
+func (r *Runner) UniformMetrics(cfg *config.Config, benchmark string) (Metrics, error) {
+	in := r.startUniform(cfg, benchmark)
+	<-in.done
+	return in.m, in.err
+}
+
 // farmed routes the run to the Farm backend when one is attached; the
 // local fallback fn is used otherwise. Farm dispatch sits inside the
 // ledgered wrapper, so a warm local ledger short-circuits the network
@@ -796,6 +820,69 @@ func (r *Runner) EnergyFigure() (*Figure, error) {
 		})
 	}
 	f.Notes = "(every row-buffer-cache hit avoids a full array activate+precharge)"
+	return f, nil
+}
+
+// ManycoreCoreCounts are the core counts the manycore experiment
+// sweeps (each a perfect square, per the mesh).
+var ManycoreCoreCounts = []int{16, 64, 256}
+
+// ManycoreBenches are the workloads of the manycore sweep: the two
+// coherence microbenchmarks that stress the directory (shared-data
+// traffic) plus one private memory-bound benchmark from Table 2a that
+// scales the MC/rank pressure the paper's 4-core sweeps measured.
+var ManycoreBenches = []string{"read-mostly-shared", "producer-consumer", "mcf"}
+
+// ManycoreFigure re-runs the paper's MC/rank-scaling and MSHR-capacity
+// questions at 16, 64 and 256 cores on the coherent mesh machine: does
+// quadrupling controllers/ranks still buy throughput when the cores
+// outnumber the MCs 64:1, and how sensitive are the private L2s to
+// their MSHR budget. Every core runs the same benchmark (HMIPC is
+// reported) — the Table 2b mixes are 4-core artifacts.
+func (r *Runner) ManycoreFigure() (*Figure, error) {
+	type variant struct {
+		name string
+		cfg  func(cores int) *config.Config
+	}
+	variants := []variant{
+		{"4mc/16rank", func(n int) *config.Config { return config.ManyCore(n, 4) }},
+		{"16mc/64rank", func(n int) *config.Config { return config.ManyCore(n, 16) }},
+		{"4mc/mshr-half", func(n int) *config.Config {
+			c := config.ManyCore(n, 4)
+			c.PrivL2MSHRs /= 2
+			c.Name += "-mshr" + fmt.Sprint(c.PrivL2MSHRs)
+			return c
+		}},
+	}
+	f := &Figure{
+		ID:    "Manycore",
+		Title: "Many-core scaling: HMIPC at 16/64/256 cores (private L2s, directory MESI, mesh NoC)",
+	}
+	for _, v := range variants {
+		f.Columns = append(f.Columns, v.name)
+	}
+	for _, n := range ManycoreCoreCounts {
+		for _, v := range variants {
+			cfg := v.cfg(n)
+			for _, b := range ManycoreBenches {
+				r.startUniform(cfg, b)
+			}
+		}
+	}
+	for _, n := range ManycoreCoreCounts {
+		for _, b := range ManycoreBenches {
+			row := FigureRow{Label: fmt.Sprintf("%s@%dc", b, n)}
+			for _, v := range variants {
+				m, err := r.UniformMetrics(v.cfg(n), b)
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, m.HMIPC)
+			}
+			f.Rows = append(f.Rows, row)
+		}
+	}
+	f.Notes = "(HMIPC; every core runs the row's benchmark — compare columns within a row, rows within a benchmark)"
 	return f, nil
 }
 

@@ -15,16 +15,33 @@ func (s *System) CheckInvariants() error {
 
 	// Every L2 MSHR entry should eventually drain once cores stop
 	// issuing; outstanding entries after quiesce are leaks.
-	for i, f := range s.L2.MSHRBanks() {
-		if n := f.Len(); n != 0 {
-			errs = append(errs, fmt.Errorf("mshr bank %d holds %d entries after quiesce", i, n))
+	if s.L2 != nil {
+		for i, f := range s.L2.MSHRBanks() {
+			if n := f.Len(); n != 0 {
+				errs = append(errs, fmt.Errorf("mshr bank %d holds %d entries after quiesce", i, n))
+			}
+			st := f.Stats()
+			// Entries allocated during warmup may release after the stats
+			// reset, so releases can exceed allocs; fewer releases than
+			// allocs after quiesce means entries were lost.
+			if st.Releases < st.Allocs {
+				errs = append(errs, fmt.Errorf("mshr bank %d: %d allocs but only %d releases", i, st.Allocs, st.Releases))
+			}
 		}
-		st := f.Stats()
-		// Entries allocated during warmup may release after the stats
-		// reset, so releases can exceed allocs; fewer releases than
-		// allocs after quiesce means entries were lost.
-		if st.Releases < st.Allocs {
-			errs = append(errs, fmt.Errorf("mshr bank %d: %d allocs but only %d releases", i, st.Allocs, st.Releases))
+	}
+	if s.Coh != nil {
+		// Private L2 miss tables and writeback buffers must drain, and
+		// no coherence message may be stuck in the mesh.
+		for c := 0; c < s.Cfg.Cores; c++ {
+			if n := s.Coh.L2(c).OutstandingMisses(); n != 0 {
+				errs = append(errs, fmt.Errorf("private L2 %d holds %d outstanding misses after quiesce", c, n))
+			}
+			if n := s.Coh.L2(c).WritebacksInFlight(); n != 0 {
+				errs = append(errs, fmt.Errorf("private L2 %d holds %d unacknowledged writebacks after quiesce", c, n))
+			}
+		}
+		if n := s.Coh.Mesh().InFlight(); n != 0 {
+			errs = append(errs, fmt.Errorf("mesh holds %d packets after quiesce", n))
 		}
 	}
 	// L1 MSHRs must also be empty.
@@ -55,9 +72,21 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	// Cache accounting sanity.
-	l2 := s.L2.Stats()
-	if l2.Hits > l2.Accesses {
-		errs = append(errs, fmt.Errorf("L2: hits %d exceed accesses %d", l2.Hits, l2.Accesses))
+	if s.L2 != nil {
+		l2 := s.L2.Stats()
+		if l2.Hits > l2.Accesses {
+			errs = append(errs, fmt.Errorf("L2: hits %d exceed accesses %d", l2.Hits, l2.Accesses))
+		}
+	}
+	if s.Coh != nil {
+		cs := s.Coh.Stats()
+		if cs.Hits > cs.Accesses {
+			errs = append(errs, fmt.Errorf("coherence: hits %d exceed accesses %d", cs.Hits, cs.Accesses))
+		}
+		ms := s.Coh.Mesh().Stats()
+		if ms.Delivered > ms.Injected {
+			errs = append(errs, fmt.Errorf("mesh: delivered %d exceeds injected %d", ms.Delivered, ms.Injected))
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -72,8 +101,20 @@ func (s *System) DrainQuiesce(maxCycles int64) bool {
 		c.Halt()
 	}
 	quiet := func() bool {
-		for _, f := range s.L2.MSHRBanks() {
-			if f.Len() != 0 {
+		if s.L2 != nil {
+			for _, f := range s.L2.MSHRBanks() {
+				if f.Len() != 0 {
+					return false
+				}
+			}
+		}
+		if s.Coh != nil {
+			for c := 0; c < s.Cfg.Cores; c++ {
+				if s.Coh.L2(c).OutstandingMisses() != 0 || s.Coh.L2(c).WritebacksInFlight() != 0 {
+					return false
+				}
+			}
+			if s.Coh.Mesh().InFlight() != 0 {
 				return false
 			}
 		}

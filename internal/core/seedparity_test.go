@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"stackedsim/internal/config"
+	"stackedsim/internal/workload"
+)
+
+// TestSeedModeBitIdentical pins the seed organizations — shared L2,
+// bus interconnect, no coherence fabric — to golden digests and
+// metrics recorded before the many-core subsystem landed. The
+// directory/mesh machinery must be invisible until asked for: any
+// drift here means a coherent-mode change leaked into the default
+// path, and the ledger keys of every recorded run silently moved.
+func TestSeedModeBitIdentical(t *testing.T) {
+	golden := []struct {
+		make      func() *config.Config
+		digest    uint64
+		hmipc     string // %.9f — exact decimal pin, no epsilon
+		l2miss    string
+		dramReads uint64
+	}{
+		{config.Baseline2D, 0x079177f66e49abc3, "0.089610730", "0.974371144", 3299},
+		{config.Fast3D, 0xc75c7fb034a8bdc6, "0.187181070", "0.933325360", 5922},
+		{config.QuadMC, 0xa3c9ebd4306cb2f3, "0.222395537", "0.809006836", 6992},
+	}
+	mix, ok := workload.MixByName("H1")
+	if !ok {
+		t.Fatal("mix H1 missing")
+	}
+	for _, g := range golden {
+		cfg := g.make()
+		cfg.WarmupCycles = 20_000
+		cfg.MeasureCycles = 60_000
+		t.Run(cfg.Name, func(t *testing.T) {
+			sys, err := NewSystem(cfg, mix.Benchmarks[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sys.Run()
+			if d := sys.Digest(); d != g.digest {
+				t.Errorf("digest %#x, golden %#x", d, g.digest)
+			}
+			if got := fmt.Sprintf("%.9f", m.HMIPC); got != g.hmipc {
+				t.Errorf("HMIPC %s, golden %s", got, g.hmipc)
+			}
+			if got := fmt.Sprintf("%.9f", m.L2MissRate); got != g.l2miss {
+				t.Errorf("L2 miss rate %s, golden %s", got, g.l2miss)
+			}
+			if m.DRAMReads != g.dramReads {
+				t.Errorf("DRAM reads %d, golden %d", m.DRAMReads, g.dramReads)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"stackedsim/internal/attrib"
 	"stackedsim/internal/bus"
 	"stackedsim/internal/cache"
+	"stackedsim/internal/coherence"
 	"stackedsim/internal/config"
 	"stackedsim/internal/cpu"
 	"stackedsim/internal/dram"
@@ -19,6 +20,7 @@ import (
 	"stackedsim/internal/mem"
 	"stackedsim/internal/memctrl"
 	"stackedsim/internal/mshr"
+	"stackedsim/internal/noc"
 	"stackedsim/internal/power"
 	"stackedsim/internal/prefetch"
 	"stackedsim/internal/sim"
@@ -37,8 +39,14 @@ type System struct {
 	Cores []*cpu.Core
 	L1s   []*cache.L1
 	IL1s  []*cache.L1
-	L2    *cache.L2
-	MCs   []*memctrl.Controller
+	// L2 is the shared banked L2 (seed mode). In coherent many-core
+	// mode it is nil and Coh — private per-core L2s under directory
+	// MESI, connected by a mesh NoC — takes its place. Exactly one of
+	// the two is non-nil; seed mode never constructs the fabric, so
+	// seed runs stay bit-identical.
+	L2  *cache.L2
+	Coh *coherence.Fabric
+	MCs []*memctrl.Controller
 	Buses []*bus.Bus
 	Pages *mem.PageTable
 	TLBs  []*tlb.TLB
@@ -260,24 +268,40 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 		})
 		ports = s.Stack.Fronts()
 	}
-	s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: ports, IDs: ids})
-	for _, f := range s.L2.MSHRBanks() {
-		f.SetFaults(s.Faults.MSHR())
+	if cfg.Coherent() {
+		// Many-core mode: private per-core L2s, directory banks
+		// co-located with the stacked controllers, and the mesh that
+		// connects them. Validation already pinned this mode to plain
+		// stacked memory with no faults and static MSHRs.
+		s.Coh = coherence.New(coherence.Params{Cfg: cfg, AMap: s.AMap, MCs: ports, IDs: ids})
+	} else {
+		s.L2 = cache.NewL2(cache.L2Params{Cfg: cfg, AMap: s.AMap, MCs: ports, IDs: ids})
+		for _, f := range s.L2.MSHRBanks() {
+			f.SetFaults(s.Faults.MSHR())
+		}
 	}
 
 	// Cores with private L1s and their μop sources.
 	s.Sources = sources
 	s.Labels = append([]string(nil), labels...)
 	for c := 0; c < len(sources); c++ {
+		var below cache.Port = s.L2
+		var storeHint func(mem.Addr, sim.Cycle)
+		if s.Coh != nil {
+			pl2 := s.Coh.L2(c)
+			below = pl2
+			storeHint = pl2.StoreHint
+		}
 		l1 := cache.NewL1(cache.L1Params{
 			Core:      c,
 			Array:     cache.NewArrayBySize(fmt.Sprintf("dl1.%d", c), cfg.L1SizeKB*1024, cfg.L1Ways, cfg.LineBytes),
 			Latency:   sim.Cycle(cfg.L1Latency),
 			LineBytes: cfg.LineBytes,
 			MSHRs:     cfg.L1MSHRs,
-			Below:     s.L2,
+			Below:     below,
 			IDs:       ids,
 			Prefetch:  cfg.L1Prefetch,
+			StoreHint: storeHint,
 		})
 		s.L1s = append(s.L1s, l1)
 		il1 := cache.NewL1(cache.L1Params{
@@ -286,11 +310,15 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 			Latency:   sim.Cycle(cfg.L1Latency),
 			LineBytes: cfg.LineBytes,
 			MSHRs:     cfg.L1MSHRs,
-			Below:     s.L2,
+			Below:     below,
 			IDs:       ids,
 			Prefetch:  cfg.L1Prefetch, // Table 1: next-line on the IL1
 		})
 		s.IL1s = append(s.IL1s, il1)
+		if s.Coh != nil {
+			// The private L2 invalidates its L1s on remote writes.
+			s.Coh.L2(c).SetL1s(l1, il1)
+		}
 		dt := tlb.New(64, 4)
 		s.TLBs = append(s.TLBs, dt)
 		it := tlb.New(32, 4)
@@ -335,7 +363,11 @@ func NewSystemFromSources(cfg *config.Config, sources []cpu.UOpSource, labels []
 	for _, il1 := range s.IL1s {
 		il1.SetHandle(s.Engine.RegisterEvery(1, 0, il1))
 	}
-	s.L2.SetHandle(s.Engine.RegisterEvery(1, 0, s.L2))
+	if s.Coh != nil {
+		s.Coh.Register(s.Engine)
+	} else {
+		s.L2.SetHandle(s.Engine.RegisterEvery(1, 0, s.L2))
+	}
 	if s.Stack != nil {
 		s.Stack.SetHandle(s.Engine.RegisterEvery(1, 0, s.Stack))
 	}
@@ -397,7 +429,11 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 	for _, c := range s.Cores {
 		c.Instrument(reg)
 	}
-	s.L2.Instrument(reg, tr)
+	if s.Coh != nil {
+		s.Coh.Instrument(reg)
+	} else {
+		s.L2.Instrument(reg, tr)
+	}
 	for _, mc := range s.MCs {
 		mc.Instrument(reg, tr)
 	}
@@ -439,6 +475,10 @@ func (s *System) AttachTelemetry(tel *telemetry.Telemetry) {
 // cycles the simulation computes anyway — so an attributed run is
 // bit-identical to an unattributed one. A nil collector is a no-op.
 func (s *System) AttachAttrib(col *attrib.Collector) {
+	if s.Coh != nil {
+		s.Coh.AttachAttrib(col)
+		return
+	}
 	s.L2.AttachAttrib(col)
 }
 
@@ -553,7 +593,11 @@ func (s *System) ResetStats() {
 		s.TLBs[i].ResetStats()
 		s.ITLBs[i].ResetStats()
 	}
-	s.L2.ResetStats()
+	if s.Coh != nil {
+		s.Coh.ResetStats()
+	} else {
+		s.L2.ResetStats()
+	}
 	for _, mc := range s.MCs {
 		mc.ResetStats()
 		for _, rank := range mc.Ranks() {
@@ -623,6 +667,11 @@ type Metrics struct {
 	// every DL1 and IL1; PrefetchL2 is the shared L2's.
 	PrefetchL1 prefetch.Stats
 	PrefetchL2 prefetch.Stats
+
+	// Coherence and NoC summarize the directory protocol and the mesh
+	// in many-core coherent mode (all zero under the shared L2).
+	Coherence coherence.Stats
+	NoC       noc.Stats
 }
 
 // Run executes warmup then the measured window and returns the metrics.
@@ -652,7 +701,7 @@ func (s *System) Collect() Metrics {
 		Config: s.Cfg.Name,
 		Cycles: uint64(s.Cfg.MeasureCycles),
 	}
-	missesBy := s.L2.DemandMissesByCore()
+	missesBy := s.demandMissesByCore()
 	for i, c := range s.Cores {
 		c.FlushIdle(s.Engine.Now()) // make sleep-skipped cycles visible
 		st := c.Stats()
@@ -665,11 +714,19 @@ func (s *System) Collect() Metrics {
 		}
 	}
 	m.HMIPC = stats.HarmonicMean(m.IPC)
-	l2 := s.L2.Stats()
-	if l2.Accesses > 0 {
-		m.L2MissRate = float64(l2.Accesses-l2.Hits) / float64(l2.Accesses)
+	if s.Coh != nil {
+		cs := s.Coh.Stats()
+		m.L2MissRate = cs.MissRate()
+		m.MSHRFullStalls = cs.MSHRStalls
+		m.Coherence = cs
+		m.NoC = *s.Coh.Mesh().Stats()
+	} else {
+		l2 := s.L2.Stats()
+		if l2.Accesses > 0 {
+			m.L2MissRate = float64(l2.Accesses-l2.Hits) / float64(l2.Accesses)
+		}
+		m.MSHRFullStalls = l2.MSHRStalls
 	}
-	m.MSHRFullStalls = l2.MSHRStalls
 	var rowHits, dramAcc, busBusy uint64
 	for i, mc := range s.MCs {
 		st := mc.Stats()
@@ -700,13 +757,15 @@ func (s *System) Collect() Metrics {
 		m.RefreshSkipRate = float64(skipped) / float64(skipped+issued)
 	}
 
-	var probes, accesses uint64
-	for _, f := range s.L2.MSHRBanks() {
-		probes += f.Stats().Probes
-		accesses += f.Stats().Accesses
-	}
-	if accesses > 0 {
-		m.ProbesPerAccess = float64(probes) / float64(accesses)
+	if s.L2 != nil {
+		var probes, accesses uint64
+		for _, f := range s.L2.MSHRBanks() {
+			probes += f.Stats().Probes
+			accesses += f.Stats().Accesses
+		}
+		if accesses > 0 {
+			m.ProbesPerAccess = float64(probes) / float64(accesses)
+		}
 	}
 	m.Faults = s.Faults.Stats()
 	if s.Stack != nil {
@@ -720,8 +779,19 @@ func (s *System) Collect() Metrics {
 		m.PrefetchL1.Add(s.L1s[i].PrefetchStats())
 		m.PrefetchL1.Add(s.IL1s[i].PrefetchStats())
 	}
-	m.PrefetchL2 = s.L2.PrefetchStats()
+	if s.L2 != nil {
+		m.PrefetchL2 = s.L2.PrefetchStats()
+	}
 	return m
+}
+
+// demandMissesByCore reads the per-core demand-miss counters from
+// whichever second-level organization the machine has.
+func (s *System) demandMissesByCore() []uint64 {
+	if s.Coh != nil {
+		return s.Coh.DemandMissesByCore()
+	}
+	return s.L2.DemandMissesByCore()
 }
 
 // Digest folds the architectural state visible through statistics —
@@ -744,11 +814,15 @@ func (s *System) Digest() uint64 {
 	for _, c := range s.Cores {
 		word(c.Committed())
 	}
-	l2 := s.L2.Stats()
-	word(l2.Accesses, l2.Hits, l2.MSHRStalls)
-	for _, f := range s.L2.MSHRBanks() {
-		st := f.Stats()
-		word(st.Accesses, st.Probes)
+	if s.Coh != nil {
+		s.Coh.DigestWords(word)
+	} else {
+		l2 := s.L2.Stats()
+		word(l2.Accesses, l2.Hits, l2.MSHRStalls)
+		for _, f := range s.L2.MSHRBanks() {
+			st := f.Stats()
+			word(st.Accesses, st.Probes)
+		}
 	}
 	for i, mc := range s.MCs {
 		st := mc.Stats()
@@ -812,6 +886,26 @@ func RunSingle(cfg *config.Config, benchmark string) (Metrics, error) {
 // RunSingleContext is RunSingle under a cancellation context.
 func RunSingleContext(ctx context.Context, cfg *config.Config, benchmark string) (Metrics, error) {
 	sys, err := NewSystem(cfg, []string{benchmark})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sys.RunContext(ctx)
+}
+
+// RunUniform runs one benchmark on every core — the many-core scaling
+// methodology, where the Table 2b mixes (sized for 4 cores) do not
+// stretch to 16–256 cores.
+func RunUniform(cfg *config.Config, benchmark string) (Metrics, error) {
+	return RunUniformContext(context.Background(), cfg, benchmark)
+}
+
+// RunUniformContext is RunUniform under a cancellation context.
+func RunUniformContext(ctx context.Context, cfg *config.Config, benchmark string) (Metrics, error) {
+	benches := make([]string, cfg.Cores)
+	for i := range benches {
+		benches[i] = benchmark
+	}
+	sys, err := NewSystem(cfg, benches)
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -18,9 +18,11 @@ import (
 //
 // Baseline2D stresses the divider-4 FSB domain, QuadMC the multi-MC
 // wake logic, the SmartRefresh variant the refresh wake source, Fast3D
-// the ratio-1 stacked controllers, and the stack-cache variants the
+// the ratio-1 stacked controllers, the stack-cache variants the
 // stacked-layer sleep discipline (SRAM tag events, miss forwarding,
-// and the off-chip backing channel in both cache and memcache modes).
+// and the off-chip backing channel in both cache and memcache modes),
+// and the 16-core MESI config the coherence fabric's sleep/wake
+// discipline (private-L2 inboxes, directory banks, mesh routers).
 func TestTickSchedulingParity(t *testing.T) {
 	smart := config.QuadMC()
 	smart.SmartRefresh = true
@@ -32,6 +34,7 @@ func TestTickSchedulingParity(t *testing.T) {
 		config.Fast3D(),
 		config.Fast3D().WithStackCache(config.StackCache, 64),
 		config.Fast3D().WithStackCache(config.StackMemCache, 64),
+		config.ManyCore(16, 4),
 	}
 	for _, cfg := range configs {
 		cfg.WarmupCycles = 5_000
@@ -40,8 +43,18 @@ func TestTickSchedulingParity(t *testing.T) {
 		if !ok {
 			t.Fatal("mix H1 missing")
 		}
+		benches := mix.Benchmarks[:]
+		if cfg.Coherent() {
+			// Every core hammers the same shared ring: maximal protocol
+			// traffic (upgrades, invalidations, forwards, races) for
+			// the scheduling-parity check.
+			benches = make([]string, cfg.Cores)
+			for i := range benches {
+				benches[i] = "producer-consumer"
+			}
+		}
 		run := func(fullTick bool) Metrics {
-			sys, err := NewSystem(cfg, mix.Benchmarks[:])
+			sys, err := NewSystem(cfg, benches)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -31,6 +31,12 @@ type UOp struct {
 	// Mispredict marks a branch that will be mispredicted, stalling the
 	// front end for the pipeline refill penalty after it executes.
 	Mispredict bool
+	// Shared places the μop's address in the process-wide shared region
+	// (mem.SharedSpace) instead of the core's private space, so the same
+	// VAddr names the same line on every core. Only the shared-data
+	// workload generators set it; coherence traffic needs it, the
+	// private-space generators never do.
+	Shared bool
 }
 
 // UOpSource supplies the dynamic μop stream of one program.
@@ -466,6 +472,9 @@ func (c *Core) issueMem(now sim.Cycle) {
 func (c *Core) tryIssue(idx int, now sim.Cycle) bool {
 	e := &c.rob[idx]
 	vaddr := mem.CoreSpace(c.id, e.op.VAddr)
+	if e.op.Shared {
+		vaddr = mem.SharedSpace(e.op.VAddr)
+	}
 	if e.readyAt <= now && !c.dt.Access(uint64(vaddr)/uint64(c.cfg.PageBytes)) {
 		// TLB miss: pay the walk; the μop stays queued and retries
 		// when the walk completes.

@@ -121,3 +121,13 @@ func (pt *PageTable) Lookup(v VAddr) (Addr, bool) {
 func CoreSpace(core int, v uint64) VAddr {
 	return VAddr(uint64(core+1)<<48 | v)
 }
+
+// SharedSpace returns a virtual address in the process-wide shared
+// region: one address space all cores translate identically (first
+// touch allocates the frame, later touches from any core reuse it), so
+// shared-data workloads generate real cross-core coherence traffic.
+// Bit 47 keeps it disjoint from every per-core space (which start at
+// 1<<48) and far above any private footprint or hot-region base.
+func SharedSpace(v uint64) VAddr {
+	return VAddr(1<<47 | v)
+}

@@ -69,6 +69,12 @@ type Request struct {
 	// when tracing is disabled, so the flag costs one branch.
 	Traced bool
 
+	// Excl marks ownership intent under directory coherence: the L1 sets
+	// it on store(-allocate) misses so a private L2 requests the line in
+	// an exclusive (writable) state via GetM instead of GetS. The shared
+	// L2 ignores it, so seed-mode behavior is unchanged.
+	Excl bool
+
 	// StackDirect marks a request the stack-cache layer routes around
 	// its tag path: direct-addressed hot-region traffic, tag-resolved
 	// hits, and the layer's own fill writes. The layer's completion

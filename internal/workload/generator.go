@@ -26,6 +26,9 @@ type Generator struct {
 	// Pointer-chase state.
 	chaseAddr uint64
 
+	// Shared-pattern state: the producer-consumer window cursor.
+	shIter uint64
+
 	// Hot-ring state: the (1-ColdFrac) share of memory μops walk a
 	// small L1-resident ring, modeling the strong near locality of the
 	// real benchmarks.
@@ -127,6 +130,11 @@ func (g *Generator) randomLine() uint64 {
 	return (uint64(g.rng.Int63()) % lines) * 64
 }
 
+func (g *Generator) randomSharedLine() uint64 {
+	lines := g.spec.SharedBytes / 64
+	return (uint64(g.rng.Int63()) % lines) * 64
+}
+
 // hotOp emits one access on the L1-resident hot ring.
 func (g *Generator) hotOp() cpu.UOp {
 	addr := hotBase + g.hotPos
@@ -202,6 +210,41 @@ func (g *Generator) memBatch() []cpu.UOp {
 		}
 		store := g.rng.Float64() < g.spec.StoreFrac
 		return []cpu.UOp{{Mem: true, Store: store, VAddr: addr, PC: 0x400 << 20}}
+	case ProducerConsumer:
+		// Write the leading edge of a sliding window over the shared
+		// ring and read half a ring behind it. Every core walks the
+		// same deterministic window positions, so produced lines are
+		// consumed (and re-owned) by whichever core gets there next.
+		lines := g.spec.SharedBytes / 64
+		w := (g.shIter % lines) * 64
+		r := ((g.shIter + lines/2) % lines) * 64
+		g.shIter++
+		return []cpu.UOp{
+			{Mem: true, Store: true, Shared: true, VAddr: w, PC: 0x600 << 20},
+			{Mem: true, Shared: true, VAddr: r, PC: 0x601 << 20},
+		}
+	case LockContended:
+		// Pick one of a few page-spaced lock lines (pages interleave
+		// across directory banks) and do a load-then-store on it: the
+		// classic test-and-set, GetS followed by an upgrade.
+		locks := g.spec.SharedBytes / 4096
+		if locks == 0 {
+			locks = 1
+		}
+		l := (uint64(g.rng.Int63()) % locks) * 4096
+		if l+64 > g.spec.SharedBytes {
+			l = 0
+		}
+		return []cpu.UOp{
+			{Mem: true, Shared: true, VAddr: l, PC: 0x610 << 20},
+			{Mem: true, Store: true, Shared: true, VAddr: l, PC: 0x611 << 20, DependsOnPrev: true},
+		}
+	case ReadMostlyShared:
+		// Random reads over a shared table; the rare store invalidates
+		// every reader's copy.
+		store := g.rng.Float64() < g.spec.StoreFrac
+		return []cpu.UOp{{Mem: true, Store: store, Shared: true,
+			VAddr: g.randomSharedLine() + uint64(g.rng.Intn(8))*8, PC: 0x620 << 20}}
 	default:
 		panic(fmt.Sprintf("workload %s: unknown pattern %v", g.spec.Name, g.spec.Pattern))
 	}

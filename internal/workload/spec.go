@@ -33,6 +33,18 @@ const (
 	// Mixed alternates sequential runs with random jumps (qsort, gzip,
 	// bzip2, integer codes).
 	Mixed
+	// ProducerConsumer writes a sliding window of shared lines and reads
+	// a trailing window, so lines migrate core-to-core through the
+	// coherence protocol (many-core runs; single-core runs see plain
+	// read/write traffic on a small region).
+	ProducerConsumer
+	// LockContended hammers a handful of shared lock lines with
+	// load-then-store sequences, the worst case for invalidation and
+	// ownership-transfer traffic.
+	LockContended
+	// ReadMostlyShared reads random lines of a shared table with rare
+	// stores, each of which invalidates every reader's copy.
+	ReadMostlyShared
 )
 
 func (p Pattern) String() string {
@@ -47,8 +59,24 @@ func (p Pattern) String() string {
 		return "chase"
 	case Mixed:
 		return "mixed"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case LockContended:
+		return "lock-contended"
+	case ReadMostlyShared:
+		return "read-mostly-shared"
 	}
 	return "unknown"
+}
+
+// SharedPattern reports whether p emits μops into the process-wide
+// shared region (mem.SharedSpace) rather than per-core private space.
+func (p Pattern) SharedPattern() bool {
+	switch p {
+	case ProducerConsumer, LockContended, ReadMostlyShared:
+		return true
+	}
+	return false
 }
 
 // Spec describes one benchmark's synthetic model.
@@ -75,6 +103,12 @@ type Spec struct {
 	ColdFrac float64
 	// HotBytes sizes the hot ring (default 16KB, L1-resident).
 	HotBytes uint64
+
+	// SharedBytes sizes the process-wide shared region the shared
+	// patterns (ProducerConsumer, LockContended, ReadMostlyShared)
+	// touch. Every core addresses the same region, so in coherent
+	// many-core mode these μops drive the directory protocol.
+	SharedBytes uint64
 }
 
 // EffectiveColdFrac returns ColdFrac with its zero-default applied.
@@ -136,6 +170,11 @@ func (s Spec) Validate() error {
 				s.Name, streams, s.ElemBytes)
 		}
 	case RandomAccess, PointerChase, Mixed:
+	case ProducerConsumer, LockContended, ReadMostlyShared:
+		if s.SharedBytes < 64 {
+			return fmt.Errorf("workload %s: %s pattern needs SharedBytes >= one cache line (got %d)",
+				s.Name, s.Pattern, s.SharedBytes)
+		}
 	default:
 		return fmt.Errorf("workload %s: unknown pattern %d", s.Name, int(s.Pattern))
 	}
@@ -161,6 +200,21 @@ func CapacitySpec(sizeMB int) Spec {
 		Mispred:   0.002,
 		ColdFrac:  1,
 	}
+}
+
+// SharedSpecs are the shared-data microbenchmarks driving the
+// directory-MESI coherence protocol in many-core mode. They are kept
+// out of Specs (the pinned Table 2a list) but resolve through ByName.
+var SharedSpecs = []Spec{
+	{Name: "producer-consumer", Suite: "coherence", Pattern: ProducerConsumer,
+		Footprint: 4 * mb, SharedBytes: 256 * kb,
+		MemFrac: 0.35, StoreFrac: 0.50, Mispred: 0.002, ColdFrac: 1},
+	{Name: "lock-contended", Suite: "coherence", Pattern: LockContended,
+		Footprint: 4 * mb, SharedBytes: 32 * kb,
+		MemFrac: 0.30, StoreFrac: 0.50, Mispred: 0.004, ColdFrac: 1},
+	{Name: "read-mostly-shared", Suite: "coherence", Pattern: ReadMostlyShared,
+		Footprint: 4 * mb, SharedBytes: 2 * mb,
+		MemFrac: 0.35, StoreFrac: 0.02, Mispred: 0.002, ColdFrac: 1},
 }
 
 // Specs is the Table 2a benchmark list. PaperMPKI values are copied from
@@ -201,6 +255,11 @@ var Specs = []Spec{
 // list it resolves "cap<N>m" to CapacitySpec(N), e.g. "cap16m".
 func ByName(name string) (Spec, bool) {
 	for _, s := range Specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range SharedSpecs {
 		if s.Name == name {
 			return s, true
 		}

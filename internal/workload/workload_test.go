@@ -284,3 +284,49 @@ func BenchmarkGeneratorNext(b *testing.B) {
 		sinkOp = g.Next()
 	}
 }
+
+func TestSharedSpecsValidateAndResolve(t *testing.T) {
+	if len(SharedSpecs) != 3 {
+		t.Fatalf("len(SharedSpecs) = %d, want 3", len(SharedSpecs))
+	}
+	for _, s := range SharedSpecs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s: %v", s.Name, err)
+		}
+		if !s.Pattern.SharedPattern() {
+			t.Errorf("spec %s: pattern %s is not a shared pattern", s.Name, s.Pattern)
+		}
+		got, ok := ByName(s.Name)
+		if !ok || got.SharedBytes != s.SharedBytes {
+			t.Errorf("ByName(%q) = %+v, %v", s.Name, got, ok)
+		}
+	}
+}
+
+func TestSharedPatternsEmitSharedOps(t *testing.T) {
+	for _, s := range SharedSpecs {
+		g := NewGenerator(s, 42)
+		var shared, stores int
+		for i := 0; i < 5000; i++ {
+			op := g.Next()
+			if !op.Mem {
+				continue
+			}
+			if op.Shared {
+				shared++
+				if op.VAddr >= s.SharedBytes+64 {
+					t.Fatalf("%s: shared access at %#x outside region %#x", s.Name, op.VAddr, s.SharedBytes)
+				}
+				if op.Store {
+					stores++
+				}
+			}
+		}
+		if shared == 0 {
+			t.Errorf("%s: no shared accesses in 5000 μops", s.Name)
+		}
+		if stores == 0 {
+			t.Errorf("%s: no shared stores in 5000 μops", s.Name)
+		}
+	}
+}

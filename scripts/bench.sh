@@ -58,6 +58,14 @@
 #      Emits BENCH_farm.json. Correctness failures (lost cells, dedupe
 #      re-dispatch, stdout divergence) are fatal; the recovery-wall
 #      gate warns, like the other timing gates on small hosts.
+#   9. The many-core subsystem's two promises, emitting
+#      BENCH_manycore.json: (a) seed-mode runs are untouched — an
+#      explicit `-coherence shared` run must collapse onto the plain
+#      run's ledger RunID (cache hit: the flag path built a
+#      bit-identical config) and statsdiff latest-vs-blessed must pass
+#      at a 0.01% threshold; (b) a 64-core MESI/mesh run finishes
+#      under a wall budget with the idle-skip engine still finding
+#      skippable cycles (skipped > 0).
 #
 # Measurements 3-7 pass -power=false on their baselines so each one
 # isolates its own subsystem's cost.
@@ -585,5 +593,79 @@ if [ "$recovery_gate" = fail ]; then
 fi
 if [ "$cells_gate" = fail ] || [ "$warm_gate" = fail ] || [ "$parity_gate" = fail ]; then
     echo "bench: ERROR: farm cells_exactly_once=$cells_gate warm_dedupe=$warm_gate stdout_parity=$parity_gate"
+    exit 1
+fi
+
+# Many-core subsystem: seed-mode identity and 64-core wall budget.
+#
+# Seed-mode identity: the coherence/NoC machinery must be invisible
+# until asked for. A run with an explicit `-coherence shared` goes
+# through the new flag-application path but must produce the exact
+# config the plain spelling does — proven end to end by the ledger:
+# the warm run's RunID (a content address over config + workload)
+# collapses onto the cold run's record and is served as a cache hit.
+# statsdiff then gates latest-vs-blessed at a 0.01% threshold.
+mc_tmp=$(mktemp -d)
+mc_store="$mc_tmp/store"
+mc_args="-config quadMC -mix VH1 -warmup 20000 -measure 60000"
+echo "== manycore seed-identity: plain run, then -coherence shared re-run"
+# shellcheck disable=SC2086 # $mc_args is a word list by design
+"$sbin" $mc_args -ledger-dir "$mc_store" > "$mc_tmp/cold.txt"
+# shellcheck disable=SC2086
+"$sbin" $mc_args -coherence shared -ledger-dir "$mc_store" > "$mc_tmp/warm.txt"
+if grep -q "ledger: cache hit" "$mc_tmp/warm.txt"; then
+    seed_flag_gate=pass
+    grep "ledger: cache hit" "$mc_tmp/warm.txt"
+else
+    seed_flag_gate=fail
+fi
+if "$dbin" -ledger-dir "$mc_store" -a latest -b latest -threshold 0.0001 -pin mc-blessed > /dev/null &&
+    "$dbin" -ledger-dir "$mc_store" -a latest -b mc-blessed -threshold 0.0001; then
+    seed_stats_gate=pass
+else
+    seed_stats_gate=fail
+fi
+
+# 64-core MESI/mesh run under a wall budget. The budget is deliberately
+# generous (the measured wall is ~1s on a 2GHz core): it catches a
+# complexity blow-up — a protocol livelock, a mesh routing loop, an
+# O(cores^2) tick — not machine-to-machine noise. The idle-skip engine
+# must still find skippable cycles: at 64 cores fully-idle cycles are
+# rare but a zero means the sleep/wake discipline regressed to
+# tick-everything.
+mc64_budget=120
+mc64_args="-config quadMC -coherence mesi -cores 64 -bench read-mostly-shared -warmup 20000 -measure 60000"
+echo "== manycore 64-core run: $mc64_args"
+# shellcheck disable=SC2086
+"$sbin" $mc64_args -telemetry-dir "$mc_tmp/tel64" > "$mc_tmp/mc64.txt"
+mc64_wall=$(json_field "$mc_tmp/tel64/manifest.json" wall_seconds)
+mc64_skipped=$(awk '/^engine:/ { for (i = 1; i <= NF; i++) if ($(i+1) == "cycles" && $(i+2) == "skipped") print $i }' "$mc_tmp/mc64.txt")
+mc64_hmipc=$(awk '/^HMIPC:/ { print $2 }' "$mc_tmp/mc64.txt")
+mc64_wall_gate=$(awk -v w="$mc64_wall" -v b="$mc64_budget" 'BEGIN { print (w > 0 && w <= b) ? "pass" : "fail" }')
+mc64_skip_gate=$([ "${mc64_skipped:-0}" -gt 0 ] && echo pass || echo fail)
+
+cat > "$outdir/BENCH_manycore.json" <<EOF
+{
+  "seed_identity_run": "quadMC VH1 @ warmup=20000 measure=60000",
+  "seed_flag_ledger_cache_hit": "$seed_flag_gate",
+  "seed_statsdiff_gate_status": "$seed_stats_gate",
+  "seed_statsdiff_threshold": 0.0001,
+  "manycore_run": "quadMC -coherence mesi -cores 64 read-mostly-shared @ warmup=20000 measure=60000",
+  "manycore_wall_seconds": $mc64_wall,
+  "manycore_wall_budget_seconds": $mc64_budget,
+  "manycore_wall_gate_status": "$mc64_wall_gate",
+  "manycore_hmipc": $mc64_hmipc,
+  "manycore_cycles_skipped": ${mc64_skipped:-0},
+  "manycore_skip_gate_status": "$mc64_skip_gate"
+}
+EOF
+echo "== $outdir/BENCH_manycore.json"
+cat "$outdir/BENCH_manycore.json"
+if [ "$seed_flag_gate" = fail ] || [ "$seed_stats_gate" = fail ]; then
+    echo "bench: ERROR: seed-mode identity broken: ledger_cache_hit=$seed_flag_gate statsdiff=$seed_stats_gate"
+    exit 1
+fi
+if [ "$mc64_wall_gate" = fail ] || [ "$mc64_skip_gate" = fail ]; then
+    echo "bench: ERROR: 64-core run wall=${mc64_wall}s (budget ${mc64_budget}s) skipped=$mc64_skipped"
     exit 1
 fi
