@@ -1,0 +1,39 @@
+package coherence
+
+import (
+	"testing"
+
+	"stackedsim/internal/sim"
+)
+
+// Repro: A's GetM goes BusyMemM; B's GetM and C's GetS defer behind it.
+// settle replays B's GetM into dirM (forward-and-forget), which never
+// settles again, stranding C's GetS in the deferred queue.
+func TestZZDeferredBehindForwardAndForget(t *testing.T) {
+	r := newRig(t, 4, 1)
+	doneA := r.access(0, 1, line0, true)
+	doneB := r.access(1, 8, line0, true)
+	doneC := r.access(2, 16, line0, false)
+
+	maxDeferred := 0
+	probe := func() {
+		if e, ok := r.f.dirs[0].lines[line0]; ok {
+			if n := len(e.deferred); n > maxDeferred {
+				maxDeferred = n
+			}
+		}
+	}
+	for c := sim.Cycle(2); c < 120; c++ {
+		r.eng.Schedule(c, probe)
+	}
+	r.run(20000)
+	t.Logf("max deferred observed: %d", maxDeferred)
+	t.Logf("doneA=%v doneB=%v doneC=%v", *doneA, *doneB, *doneC)
+	t.Logf("dir state: %s", r.f.dirs[0].EntryState(line0))
+	if e, ok := r.f.dirs[0].lines[line0]; ok {
+		t.Logf("deferred still queued: %d", len(e.deferred))
+	}
+	if !*doneA || !*doneB || !*doneC {
+		t.Fatalf("accesses stuck: A=%v B=%v C=%v", *doneA, *doneB, *doneC)
+	}
+}
